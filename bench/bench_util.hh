@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses in bench/: protocol
+ * sweeps over the 28-benchmark roster with progress reporting.
+ *
+ * Every harness honours PROTOZOA_SCALE (workload size multiplier,
+ * default 1.0) so a quick smoke pass and a high-fidelity pass use the
+ * same binaries.
+ */
+
+#ifndef PROTOZOA_BENCH_BENCH_UTIL_HH
+#define PROTOZOA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protozoa/protozoa.hh"
+
+namespace protozoa {
+namespace bench {
+
+/** The four protocols in the paper's bar order. */
+inline const std::vector<ProtocolKind> &
+allProtocols()
+{
+    static const std::vector<ProtocolKind> kinds = {
+        ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+        ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW};
+    return kinds;
+}
+
+/** Short column labels matching the paper's figures. */
+inline const char *
+shortName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::MESI:         return "MESI";
+      case ProtocolKind::ProtozoaSW:   return "SW";
+      case ProtocolKind::ProtozoaSWMR: return "SW+MR";
+      case ProtocolKind::ProtozoaMW:   return "MW";
+    }
+    return "?";
+}
+
+/** One benchmark's results across the four protocols. */
+struct ProtocolSweepRow
+{
+    std::string bench;
+    RunStats stats[4];
+
+    const RunStats &
+    operator[](ProtocolKind kind) const
+    {
+        return stats[static_cast<unsigned>(kind)];
+    }
+};
+
+/**
+ * Run every paper benchmark under the given protocols.
+ * Progress goes to stderr so stdout stays a clean table.
+ */
+inline std::vector<ProtocolSweepRow>
+sweepAllBenchmarks(const std::vector<ProtocolKind> &protocols,
+                   double scale)
+{
+    std::vector<ProtocolSweepRow> rows;
+    for (const auto &spec : paperBenchmarks()) {
+        ProtocolSweepRow row;
+        row.bench = spec.name;
+        for (ProtocolKind kind : protocols) {
+            std::fprintf(stderr, "  running %-18s %-8s...\n",
+                         spec.name.c_str(), shortName(kind));
+            SystemConfig cfg;
+            cfg.protocol = kind;
+            row.stats[static_cast<unsigned>(kind)] =
+                runBenchmark(cfg, spec.name, scale);
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Abbreviate a benchmark name to the paper's axis style. */
+inline std::string
+axisName(const std::string &name)
+{
+    if (name.size() <= 6)
+        return name;
+    return name.substr(0, 6) + ".";
+}
+
+} // namespace bench
+} // namespace protozoa
+
+#endif // PROTOZOA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): hot-path costs of
+ * the simulator's data structures — Amoeba set lookups, predictor
+ * operations, event-queue scheduling, mesh accounting — plus a small
+ * end-to-end simulation throughput measurement.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/amoeba_cache.hh"
+#include "cache/spatial_predictor.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "noc/mesh.hh"
+#include "protozoa/protozoa.hh"
+
+namespace protozoa {
+namespace {
+
+AmoebaBlock
+makeBlock(Addr region, WordRange range)
+{
+    AmoebaBlock blk;
+    blk.region = region;
+    blk.range = range;
+    blk.words.assign(range.words(), 0);
+    return blk;
+}
+
+void
+BM_AmoebaLookupHit(benchmark::State &state)
+{
+    SystemConfig cfg;
+    AmoebaCache cache(cfg);
+    // Populate one set with mixed-granularity blocks.
+    const Addr base = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        cache.insert(makeBlock(base + i * cfg.l1Sets * 64,
+                               WordRange(i % 4, i % 4 + 2)));
+    Rng rng(1);
+    for (auto _ : state) {
+        const unsigned i = static_cast<unsigned>(rng.below(8));
+        benchmark::DoNotOptimize(
+            cache.findCovering(base + i * cfg.l1Sets * 64, i % 4 + 1));
+    }
+}
+BENCHMARK(BM_AmoebaLookupHit);
+
+void
+BM_AmoebaOverlapScan(benchmark::State &state)
+{
+    SystemConfig cfg;
+    AmoebaCache cache(cfg);
+    const Addr region = 0x1000 * cfg.l1Sets;
+    for (unsigned w = 0; w < 8; w += 2)
+        cache.insert(makeBlock(region, WordRange(w, w)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.overlapping(region, WordRange(0, 7)));
+}
+BENCHMARK(BM_AmoebaOverlapScan);
+
+void
+BM_AmoebaInsertEvict(benchmark::State &state)
+{
+    SystemConfig cfg;
+    AmoebaCache cache(cfg);
+    Addr next = 0;
+    for (auto _ : state) {
+        const Addr region = next;
+        next += cfg.l1Sets * 64;   // always the same set
+        auto evicted = cache.makeRoom(region, WordRange(0, 7));
+        benchmark::DoNotOptimize(evicted);
+        cache.insert(makeBlock(region, WordRange(0, 7)));
+    }
+}
+BENCHMARK(BM_AmoebaInsertEvict);
+
+void
+BM_PredictorPredict(benchmark::State &state)
+{
+    PcSpatialPredictor pred;
+    for (Pc pc = 0; pc < 64; ++pc)
+        pred.learn(pc * 4, 2, 0b11100, WordRange(0, 7));
+    Rng rng(2);
+    for (auto _ : state) {
+        const Pc pc = 4 * rng.below(64);
+        const unsigned w = static_cast<unsigned>(rng.below(8));
+        benchmark::DoNotOptimize(
+            pred.predict(pc, w, WordRange(w, w), 8));
+    }
+}
+BENCHMARK(BM_PredictorPredict);
+
+void
+BM_PredictorLearn(benchmark::State &state)
+{
+    PcSpatialPredictor pred;
+    Rng rng(3);
+    for (auto _ : state) {
+        const Pc pc = 4 * rng.below(64);
+        pred.learn(pc, 1, static_cast<WordMask>(rng.below(256)),
+                   WordRange(0, 7));
+    }
+}
+BENCHMARK(BM_PredictorLearn);
+
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<Cycle>(i % 7), [] {});
+        while (eq.step()) {
+        }
+    }
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    Mesh mesh(eq, cfg);
+    Rng rng(4);
+    for (auto _ : state) {
+        mesh.send(static_cast<unsigned>(rng.below(16)),
+                  static_cast<unsigned>(rng.below(16)), 72, [] {});
+        while (eq.step()) {
+        }
+    }
+}
+BENCHMARK(BM_MeshSend);
+
+void
+BM_EndToEndFalseSharing(benchmark::State &state)
+{
+    // Simulated references per second for the Fig. 1 workload.
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.protocol = ProtocolKind::ProtozoaMW;
+        TraceBuilder tb(cfg.numCores, 1);
+        genFalseShareCounters(tb, cfg.numCores, 0x1000, 200, 1, 2,
+                              0x40);
+        System sys(cfg, tb.build());
+        sys.run();
+        benchmark::DoNotOptimize(sys.report().l1.misses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 200 * 2 * 16);
+}
+BENCHMARK(BM_EndToEndFalseSharing)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace protozoa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Building a custom workload against the public API.
+ *
+ * Models a small in-memory key-value store: 16 server threads share a
+ * hash-bucket array (fine-grain read-write sharing), a read-mostly
+ * configuration table, and per-thread connection scratch buffers
+ * (dense private streams). The example composes the workload three
+ * ways — from archetype generators, from a hand-rolled TraceBuilder
+ * loop, and mixed — and compares the four protocols on it.
+ *
+ * Build & run:  ./custom_workload
+ */
+
+#include <cstdio>
+
+#include "protozoa/protozoa.hh"
+
+using namespace protozoa;
+
+namespace {
+
+constexpr Addr kBuckets = 0x80000000;      // shared hash buckets
+constexpr Addr kConfig = 0x90000000;       // read-mostly config table
+constexpr Addr kScratch = 0x20000000;      // per-thread scratch
+
+Workload
+kvStoreWorkload(const SystemConfig &cfg)
+{
+    TraceBuilder tb(cfg.numCores, cfg.seed);
+
+    // 1) Archetype: dense private scratch processing (high locality).
+    genPrivateStream(tb, cfg.numCores, kScratch, /*elems=*/400,
+                     /*record_words=*/8, /*touch_words=*/6,
+                     /*write_frac=*/0.4, /*gap=*/4, /*pc_base=*/0x900,
+                     /*passes=*/2);
+
+    // 2) Archetype: shared read-mostly config lookups.
+    genSharedReadOnly(tb, cfg.numCores, kConfig, /*table_words=*/1024,
+                      /*priv_base=*/kScratch + 0x1000000,
+                      /*accesses=*/300, /*run_words=*/4, /*gap=*/5,
+                      /*pc_base=*/0xa00);
+
+    // 3) Hand-rolled: per-request bucket updates. Each thread mostly
+    //    hits its own shard of the bucket array (words interleaved by
+    //    thread), with an occasional cross-shard hit -> the same
+    //    false-sharing-with-rare-conflicts shape as real bucket locks.
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        for (unsigned req = 0; req < 600; ++req) {
+            const bool cross = tb.rng().chance(0.05);
+            const unsigned slot = cross
+                ? static_cast<unsigned>(tb.rng().below(256))
+                : c + cfg.numCores *
+                      static_cast<unsigned>(tb.rng().below(16));
+            const Addr bucket = kBuckets + slot * kWordBytes;
+            tb.load(c, bucket, 0xb00, 6);        // read bucket head
+            tb.store(c, bucket, 0xb04, 6);       // link in the entry
+        }
+    }
+
+    return tb.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Custom workload: 16-thread in-memory KV store\n");
+    std::printf("(private scratch + read-mostly config + fine-grain "
+                "shared buckets)\n\n");
+
+    std::printf("%-16s %8s %8s %12s %10s %12s\n", "protocol", "MPKI",
+                "used%", "traffic-B", "flit-hops", "cycles");
+
+    for (auto kind :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+          ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        SystemConfig cfg;
+        cfg.protocol = kind;
+
+        // runWorkload() is the one-call public entry point.
+        const RunStats stats = runWorkload(cfg, kvStoreWorkload(cfg));
+        const TrafficBreakdown tb = trafficBreakdown(stats);
+
+        std::printf("%-16s %8.2f %7.0f%% %12.0f %10llu %12llu\n",
+                    protocolName(kind), stats.mpki(),
+                    100 * stats.usedDataFraction(), tb.total(),
+                    static_cast<unsigned long long>(stats.net.flitHops),
+                    static_cast<unsigned long long>(stats.cycles));
+    }
+
+    std::printf("\nThe bucket array is the interesting part: threads "
+                "write disjoint words of shared regions, so MESI "
+                "ping-pongs where Protozoa-MW keeps every shard "
+                "cached for writing.\n");
+    return 0;
+}

@@ -1,0 +1,191 @@
+#include "cache/amoeba_cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace protozoa {
+
+const char *
+blockStateName(BlockState s)
+{
+    switch (s) {
+      case BlockState::S: return "S";
+      case BlockState::E: return "E";
+      case BlockState::M: return "M";
+    }
+    return "?";
+}
+
+unsigned
+AmoebaBlock::touchedWords() const
+{
+    return static_cast<unsigned>(
+        std::popcount(touched & range.mask()));
+}
+
+AmoebaCache::AmoebaCache(const SystemConfig &cfg)
+    : numSets(cfg.l1Sets), setBudget(cfg.l1BytesPerSet),
+      regionBytes(cfg.regionBytes),
+      regionShift(std::countr_zero(cfg.regionBytes)),
+      sets(cfg.l1Sets)
+{
+    PROTO_ASSERT(setBudget >= blockCost(WordRange::full(cfg.regionWords())),
+                 "set budget cannot hold a full region");
+}
+
+unsigned
+AmoebaCache::blockCost(const WordRange &r)
+{
+    return kTagBytes + r.bytes();
+}
+
+unsigned
+AmoebaCache::setOf(Addr region) const
+{
+    return static_cast<unsigned>((region >> regionShift) % numSets);
+}
+
+AmoebaBlock *
+AmoebaCache::findCovering(Addr region, unsigned word)
+{
+    for (auto &blk : sets[setOf(region)].blocks) {
+        if (blk.region == region && blk.range.contains(word))
+            return &blk;
+    }
+    return nullptr;
+}
+
+std::vector<AmoebaBlock *>
+AmoebaCache::blocksOfRegion(Addr region)
+{
+    std::vector<AmoebaBlock *> out;
+    for (auto &blk : sets[setOf(region)].blocks) {
+        if (blk.region == region)
+            out.push_back(&blk);
+    }
+    return out;
+}
+
+std::vector<AmoebaBlock *>
+AmoebaCache::overlapping(Addr region, const WordRange &r)
+{
+    std::vector<AmoebaBlock *> out;
+    for (auto &blk : sets[setOf(region)].blocks) {
+        if (blk.region == region && blk.range.overlaps(r))
+            out.push_back(&blk);
+    }
+    return out;
+}
+
+bool
+AmoebaCache::hasRegion(Addr region)
+{
+    for (auto &blk : sets[setOf(region)].blocks) {
+        if (blk.region == region)
+            return true;
+    }
+    return false;
+}
+
+bool
+AmoebaCache::hasDirtyRegion(Addr region)
+{
+    for (auto &blk : sets[setOf(region)].blocks) {
+        if (blk.region == region && blk.dirty())
+            return true;
+    }
+    return false;
+}
+
+bool
+AmoebaCache::hasWritableRegion(Addr region)
+{
+    for (auto &blk : sets[setOf(region)].blocks) {
+        if (blk.region == region && blk.state != BlockState::S)
+            return true;
+    }
+    return false;
+}
+
+std::vector<AmoebaBlock>
+AmoebaCache::makeRoom(Addr region, const WordRange &r)
+{
+    Set &set = sets[setOf(region)];
+    const unsigned need = blockCost(r);
+    std::vector<AmoebaBlock> evicted;
+
+    while (set.bytesUsed + need > setBudget) {
+        PROTO_ASSERT(!set.blocks.empty(), "set over budget while empty");
+        auto victim = set.blocks.begin();
+        for (auto it = set.blocks.begin(); it != set.blocks.end(); ++it) {
+            if (it->lruStamp < victim->lruStamp)
+                victim = it;
+        }
+        set.bytesUsed -= blockCost(victim->range);
+        evicted.push_back(std::move(*victim));
+        set.blocks.erase(victim);
+    }
+    return evicted;
+}
+
+AmoebaBlock *
+AmoebaCache::insert(AmoebaBlock blk)
+{
+    Set &set = sets[setOf(blk.region)];
+    const unsigned cost = blockCost(blk.range);
+    PROTO_ASSERT(set.bytesUsed + cost <= setBudget,
+                 "insert without room (set %u)", setOf(blk.region));
+    PROTO_ASSERT(blk.words.size() == blk.range.words(),
+                 "block data size mismatch");
+    for (const auto &res : set.blocks) {
+        PROTO_ASSERT(res.region != blk.region ||
+                     !res.range.overlaps(blk.range),
+                     "overlapping insert into region %llx",
+                     static_cast<unsigned long long>(blk.region));
+    }
+    blk.lruStamp = ++lruClock;
+    set.blocks.push_back(std::move(blk));
+    set.bytesUsed += cost;
+    return &set.blocks.back();
+}
+
+AmoebaBlock
+AmoebaCache::removeExact(Addr region, const WordRange &r)
+{
+    Set &set = sets[setOf(region)];
+    for (auto it = set.blocks.begin(); it != set.blocks.end(); ++it) {
+        if (it->region == region && it->range == r) {
+            AmoebaBlock out = std::move(*it);
+            set.bytesUsed -= blockCost(out.range);
+            set.blocks.erase(it);
+            return out;
+        }
+    }
+    panic("removeExact: block %llx %s not resident",
+          static_cast<unsigned long long>(region), r.toString().c_str());
+}
+
+void
+AmoebaCache::touchLru(AmoebaBlock *blk)
+{
+    blk->lruStamp = ++lruClock;
+}
+
+std::size_t
+AmoebaCache::blockCount() const
+{
+    std::size_t n = 0;
+    for (const auto &set : sets)
+        n += set.blocks.size();
+    return n;
+}
+
+unsigned
+AmoebaCache::setOccupancyBytes(unsigned set_index) const
+{
+    return sets[set_index].bytesUsed;
+}
+
+} // namespace protozoa

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Variable-granularity L1 data storage (Amoeba-Cache, MICRO'12).
+ *
+ * Each set has a byte budget instead of a fixed way count. Blocks are
+ * <Region, Start, End> tuples with collocated tags (one word of tag
+ * overhead per block, Fig. 2 of the Protozoa paper). Blocks of the same
+ * region never overlap. All blocks of a region live in the same set, so
+ * the multi-block coherence snoops (CHECK / GATHER, Fig. 3) scan one
+ * set only.
+ *
+ * The fixed-granularity baseline (MESI) is the degenerate case where
+ * every block spans its whole region: with the default 288-byte sets
+ * and 8-byte tags that is exactly four 64-byte ways.
+ */
+
+#ifndef PROTOZOA_CACHE_AMOEBA_CACHE_HH
+#define PROTOZOA_CACHE_AMOEBA_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "common/word_range.hh"
+
+namespace protozoa {
+
+/** L1 block coherence state (Table 2, L1 stable states). */
+enum class BlockState : std::uint8_t
+{
+    S,   ///< shared, clean; other L1s may hold overlapping sub-blocks
+    E,   ///< exclusive, clean
+    M,   ///< dirty; no other L1 holds an overlapping sub-block
+};
+
+const char *blockStateName(BlockState s);
+
+/** One variable-granularity cache block. */
+struct AmoebaBlock
+{
+    Addr region = 0;
+    WordRange range;
+    BlockState state = BlockState::S;
+    /** Words of the region the core actually referenced. */
+    WordMask touched = 0;
+    /** PC of the miss that fetched this block (predictor training). */
+    Pc fetchPc = 0;
+    /** Word index of the original miss within the region. */
+    std::uint8_t missWord = 0;
+    /** LRU timestamp. */
+    std::uint64_t lruStamp = 0;
+    /** Data payload, indexed by (word - range.start). */
+    std::vector<std::uint64_t> words;
+
+    bool dirty() const { return state == BlockState::M; }
+
+    std::uint64_t &
+    wordAt(unsigned w)
+    {
+        return words[w - range.start];
+    }
+
+    std::uint64_t
+    wordAt(unsigned w) const
+    {
+        return words[w - range.start];
+    }
+
+    /** Words of this block the core touched / did not touch. */
+    unsigned touchedWords() const;
+    unsigned untouchedWords() const { return range.words() - touchedWords(); }
+};
+
+class AmoebaCache
+{
+  public:
+    explicit AmoebaCache(const SystemConfig &cfg);
+
+    /** Per-block tag/metadata overhead charged against the set budget. */
+    static constexpr unsigned kTagBytes = 8;
+
+    /** Set index for a region. */
+    unsigned setOf(Addr region) const;
+
+    /** The single block containing @p word of @p region, or nullptr. */
+    AmoebaBlock *findCovering(Addr region, unsigned word);
+
+    /** All blocks of @p region (non-overlapping by invariant). */
+    std::vector<AmoebaBlock *> blocksOfRegion(Addr region);
+
+    /** Blocks of @p region overlapping @p r. */
+    std::vector<AmoebaBlock *> overlapping(Addr region, const WordRange &r);
+
+    bool hasRegion(Addr region);
+    /** True when any block of @p region is dirty. */
+    bool hasDirtyRegion(Addr region);
+    /**
+     * True when any block of @p region still confers write permission
+     * (M, or E which can silently upgrade to M).
+     */
+    bool hasWritableRegion(Addr region);
+
+    /**
+     * Evict LRU blocks from the target set until a block of @p r words
+     * (plus tag) fits. Never evicts blocks of @p region that overlap
+     * @p protect (the caller is inserting there).
+     *
+     * @return the evicted blocks, oldest first.
+     */
+    std::vector<AmoebaBlock> makeRoom(Addr region, const WordRange &r);
+
+    /**
+     * Insert a block. Space must already exist (call makeRoom) and the
+     * block must not overlap any same-region resident block.
+     * @return pointer to the resident copy (stable until removal).
+     */
+    AmoebaBlock *insert(AmoebaBlock blk);
+
+    /** Extract the exact block (@p region, @p r) from the cache. */
+    AmoebaBlock removeExact(Addr region, const WordRange &r);
+
+    /** Refresh the LRU stamp of @p blk. */
+    void touchLru(AmoebaBlock *blk);
+
+    /** Apply @p fn to every resident block (stats finalization). */
+    template <typename F>
+    void
+    forEach(F &&fn)
+    {
+        for (auto &set : sets)
+            for (auto &blk : set.blocks)
+                fn(blk);
+    }
+
+    std::size_t blockCount() const;
+    unsigned setOccupancyBytes(unsigned set_index) const;
+    unsigned bytesPerSet() const { return setBudget; }
+
+  private:
+    struct Set
+    {
+        std::list<AmoebaBlock> blocks;
+        unsigned bytesUsed = 0;
+    };
+
+    static unsigned blockCost(const WordRange &r);
+
+    unsigned numSets;
+    unsigned setBudget;
+    unsigned regionBytes;
+    unsigned regionShift;
+    std::uint64_t lruClock = 0;
+    std::vector<Set> sets;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_CACHE_AMOEBA_CACHE_HH

@@ -1,0 +1,3 @@
+// MshrFile and WbBuffer are header-only; this translation unit verifies
+// the header is self-contained.
+#include "cache/mshr.hh"

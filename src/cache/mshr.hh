@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Miss-status holding registers and the eviction writeback buffer.
+ *
+ * Both structures are indexed at REGION granularity, like the paper's
+ * ("our MSHR and cache controller entries are similar to MESI since we
+ * index them using the fixed REGION granularity"). The L1 serializes
+ * misses per region; the in-order core model makes that one outstanding
+ * miss per core.
+ *
+ * The writeback buffer holds evicted dirty blocks between PUT and
+ * WB_ACK so that a racing forwarded probe can still be answered with
+ * the freshest data (the probe consults the buffer; the directory later
+ * discards the superseded PUT).
+ */
+
+#ifndef PROTOZOA_CACHE_MSHR_HH
+#define PROTOZOA_CACHE_MSHR_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "common/word_range.hh"
+#include "protocol/coherence_msg.hh"
+
+namespace protozoa {
+
+/** One outstanding L1 miss. */
+struct MshrEntry
+{
+    Addr region = 0;
+    /** Words the core access needs. */
+    WordRange need;
+    /** Words requested from the directory (predicted). */
+    WordRange pred;
+    bool isWrite = false;
+    Pc pc = 0;
+    /** Core access being satisfied. */
+    Addr accessAddr = 0;
+    std::uint64_t storeValue = 0;
+    Cycle issued = 0;
+
+    /** True when this is a permission-only upgrade of a resident block. */
+    bool upgrade = false;
+    /**
+     * Set when a probe removed the to-be-upgraded block while the
+     * upgrade was in flight; a payload-free DATA must then be retried
+     * as a full GETX.
+     */
+    bool upgradeBroken = false;
+};
+
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned max_entries = 1) : capacity(max_entries) {}
+
+    bool full() const { return entries.size() >= capacity; }
+
+    MshrEntry *
+    alloc(const MshrEntry &entry)
+    {
+        PROTO_ASSERT(!full(), "MSHR file full");
+        PROTO_ASSERT(entries.find(entry.region) == entries.end(),
+                     "second miss on region with outstanding MSHR");
+        auto [it, ok] = entries.emplace(entry.region, entry);
+        (void)ok;
+        return &it->second;
+    }
+
+    MshrEntry *
+    find(Addr region)
+    {
+        auto it = entries.find(region);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    void
+    free(Addr region)
+    {
+        const auto n = entries.erase(region);
+        PROTO_ASSERT(n == 1, "freeing absent MSHR");
+    }
+
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    unsigned capacity;
+    std::unordered_map<Addr, MshrEntry> entries;
+};
+
+/** A dirty block in flight between eviction PUT and WB_ACK. */
+struct PendingWb
+{
+    DataSegment seg;
+    /** Touched bitmap of the evicted block (for traffic accounting). */
+    WordMask touched = 0;
+    bool last = false;
+    bool demoteOwner = false;
+};
+
+class WbBuffer
+{
+  public:
+    void
+    push(Addr region, PendingWb wb)
+    {
+        pending[region].push_back(std::move(wb));
+    }
+
+    /** Complete the oldest PUT of @p region (its WB_ACK arrived). */
+    void
+    popFront(Addr region)
+    {
+        auto it = pending.find(region);
+        PROTO_ASSERT(it != pending.end() && !it->second.empty(),
+                     "WB_ACK without pending PUT");
+        it->second.pop_front();
+        if (it->second.empty())
+            pending.erase(it);
+    }
+
+    /**
+     * Copies of buffered writebacks of @p region overlapping @p r.
+     * Used to answer forwarded probes racing with an eviction.
+     */
+    std::vector<PendingWb>
+    overlappingSegments(Addr region, const WordRange &r) const
+    {
+        std::vector<PendingWb> out;
+        auto it = pending.find(region);
+        if (it == pending.end())
+            return out;
+        for (const auto &wb : it->second) {
+            if (wb.seg.range.overlaps(r))
+                out.push_back(wb);
+        }
+        return out;
+    }
+
+    bool
+    hasPending(Addr region) const
+    {
+        return pending.find(region) != pending.end();
+    }
+
+    std::size_t
+    pendingCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &[region, list] : pending)
+            n += list.size();
+        return n;
+    }
+
+  private:
+    std::unordered_map<Addr, std::deque<PendingWb>> pending;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_CACHE_MSHR_HH

@@ -1,0 +1,109 @@
+#include "cache/spatial_predictor.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace protozoa {
+
+WordRange
+FullRegionPredictor::predict(Pc, unsigned, const WordRange &need,
+                             unsigned region_words)
+{
+    WordRange out = WordRange::full(region_words);
+    PROTO_ASSERT(out.covers(need), "need outside region");
+    return out;
+}
+
+WordRange
+FixedPredictor::predict(Pc, unsigned miss_word, const WordRange &need,
+                        unsigned region_words)
+{
+    const unsigned chunk = std::min(fetchWords, region_words);
+    const unsigned start = (miss_word / chunk) * chunk;
+    WordRange out(start, std::min(start + chunk - 1, region_words - 1));
+    return out.span(need);
+}
+
+WordRange
+WordOnlyPredictor::predict(Pc, unsigned, const WordRange &need, unsigned)
+{
+    return need;
+}
+
+PcSpatialPredictor::PcSpatialPredictor(unsigned table_entries)
+    : table(table_entries)
+{
+    PROTO_ASSERT(table_entries > 0, "empty predictor table");
+}
+
+PcSpatialPredictor::Entry &
+PcSpatialPredictor::entryFor(Pc pc)
+{
+    // Fibonacci hash of the PC (word-aligned PCs have dead low bits).
+    const std::uint64_t h = (pc >> 2) * 0x9e3779b97f4a7c15ULL;
+    return table[h % table.size()];
+}
+
+WordRange
+PcSpatialPredictor::predict(Pc pc, unsigned miss_word,
+                            const WordRange &need, unsigned region_words)
+{
+    const Entry &e = entryFor(pc);
+    if (!e.valid)
+        return WordRange::full(region_words);
+
+    const unsigned start = miss_word >= e.left ? miss_word - e.left : 0;
+    const unsigned end = std::min(miss_word + e.right, region_words - 1);
+    return WordRange(start, end).span(need);
+}
+
+void
+PcSpatialPredictor::learn(Pc pc, unsigned miss_word, WordMask touched,
+                          const WordRange &range)
+{
+    // The block may have died untouched (e.g. invalidated before use);
+    // learn the minimal granularity in that case.
+    touched &= range.mask();
+    unsigned lo = miss_word;
+    unsigned hi = miss_word;
+    if (touched != 0) {
+        lo = static_cast<unsigned>(std::countr_zero(touched));
+        hi = 31u - static_cast<unsigned>(std::countl_zero(touched));
+    }
+
+    const unsigned new_left = miss_word >= lo ? miss_word - lo : 0;
+    const unsigned new_right = hi >= miss_word ? hi - miss_word : 0;
+
+    Entry &e = entryFor(pc);
+    if (!e.valid) {
+        e.valid = true;
+        e.left = new_left;
+        e.right = new_right;
+        return;
+    }
+    // Grow immediately (spatial locality discovered), shrink by EWMA so
+    // a single sparse use doesn't discard a useful wide granularity.
+    e.left = new_left > e.left ? new_left : (e.left + new_left) / 2;
+    e.right = new_right > e.right ? new_right
+                                  : (e.right + new_right) / 2;
+}
+
+std::unique_ptr<SpatialPredictor>
+makePredictor(const SystemConfig &cfg)
+{
+    switch (cfg.predictor) {
+      case PredictorKind::FullRegion:
+        return std::make_unique<FullRegionPredictor>();
+      case PredictorKind::Fixed:
+        return std::make_unique<FixedPredictor>(cfg.fixedFetchWords);
+      case PredictorKind::PcSpatial:
+        return std::make_unique<PcSpatialPredictor>();
+      case PredictorKind::WordOnly:
+        return std::make_unique<WordOnlyPredictor>();
+    }
+    panic("unknown predictor kind");
+}
+
+} // namespace protozoa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * System configuration: one struct gathers every knob of the simulated
+ * CMP. Defaults reproduce Table 4 of the Protozoa paper.
+ */
+
+#ifndef PROTOZOA_COMMON_CONFIG_HH
+#define PROTOZOA_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace protozoa {
+
+/** The coherence protocols evaluated in the paper (Section 4). */
+enum class ProtocolKind
+{
+    MESI,            ///< fixed-granularity 4-hop directory baseline
+    ProtozoaSW,      ///< adaptive storage/comm, single writer per region
+    ProtozoaSWMR,    ///< single writer + non-overlapping concurrent readers
+    ProtozoaMW,      ///< multiple non-overlapping writers (word-level SWMR)
+};
+
+const char *protocolName(ProtocolKind kind);
+
+/** Sharer-tracking organization at the directory. */
+enum class DirectoryKind
+{
+    InCacheExact,    ///< precise per-entry reader/writer sets (paper)
+    TaglessBloom,    ///< Sec. 6: Bloom-summarized sharers (TL-style)
+};
+
+/** Fetch-granularity policy used by the L1 on a miss. */
+enum class PredictorKind
+{
+    FullRegion,      ///< always fetch the whole region (MESI behaviour)
+    Fixed,           ///< always fetch a fixed number of words
+    PcSpatial,       ///< Amoeba-Cache PC-indexed spatial predictor
+    WordOnly,        ///< fetch exactly the referenced words (lower bound)
+};
+
+/**
+ * Complete configuration of the simulated system.
+ *
+ * Defaults follow Table 4: 16 in-order cores at 3 GHz, 4x4 mesh at
+ * 1.5 GHz with 16-byte flits and 2-cycle links, Amoeba L1 with 256 sets
+ * and 288 bytes per set, 16-tile inclusive shared L2 (2 MB/tile),
+ * 300-cycle main memory.
+ */
+struct SystemConfig
+{
+    ProtocolKind protocol = ProtocolKind::ProtozoaMW;
+    PredictorKind predictor = PredictorKind::PcSpatial;
+    DirectoryKind directory = DirectoryKind::InCacheExact;
+
+    /** TaglessBloom geometry: buckets per hash table, hash tables. */
+    unsigned bloomBuckets = 256;
+    unsigned bloomHashes = 2;
+
+    /**
+     * Sec. 6 "3-hop vs 4-hop": when a request has exactly one probe
+     * target and that owner can cover the requested words, it sends
+     * DATA directly to the requester (the directory still collects
+     * the writeback and finishes the transaction). Falls back to
+     * 4-hop whenever the owner cannot supply the full range.
+     */
+    bool threeHop = false;
+
+    unsigned numCores = 16;
+
+    /** REGION size: coherence-metadata granularity (and MESI block size). */
+    unsigned regionBytes = 64;
+
+    // ---- L1 (Amoeba) ----
+    unsigned l1Sets = 256;
+    unsigned l1BytesPerSet = 288;
+    Cycle l1Latency = 2;
+    /** Extra L1 cycles per additional block processed in a gather step. */
+    Cycle l1GatherPerBlock = 1;
+    /** Words fetched by the Fixed predictor policy. */
+    unsigned fixedFetchWords = 8;
+
+    // ---- shared L2 / directory ----
+    unsigned l2Tiles = 16;
+    std::uint64_t l2BytesPerTile = 2ull * 1024 * 1024;
+    unsigned l2Assoc = 8;
+    Cycle l2Latency = 14;
+
+    // ---- interconnect (4x4 mesh) ----
+    unsigned meshCols = 4;
+    unsigned meshRows = 4;
+    unsigned flitBytes = 16;
+    /** Per-hop latency in core cycles (2 net cycles x 2 core/net ratio). */
+    Cycle hopLatency = 4;
+    /** Core cycles to serialize one additional flit. */
+    Cycle flitSerialization = 2;
+
+    // ---- main memory ----
+    Cycle memLatency = 300;
+
+    /** Control-message / data-header size in bytes (paper: 8 B). */
+    unsigned controlBytes = 8;
+
+    /** Verify every load against the golden memory (cheap; default on). */
+    bool checkValues = true;
+
+    /** Seed for workload generation and the random tester. */
+    std::uint64_t seed = 1;
+
+    /** Words per region. */
+    unsigned regionWords() const { return regionBytes / kWordBytes; }
+
+    /** Abort with a clear message if the configuration is inconsistent. */
+    void
+    validate() const
+    {
+        if (regionBytes % kWordBytes != 0 || regionWords() < 1 ||
+            regionWords() > kMaxRegionWords)
+            fatal("regionBytes=%u unsupported", regionBytes);
+        if ((regionBytes & (regionBytes - 1)) != 0)
+            fatal("regionBytes must be a power of two");
+        if (numCores != meshCols * meshRows)
+            fatal("numCores (%u) must equal meshCols*meshRows (%u)",
+                  numCores, meshCols * meshRows);
+        if (l2Tiles != numCores)
+            fatal("l2Tiles must equal numCores (tiled design)");
+        if (l1BytesPerSet < regionBytes)
+            fatal("l1BytesPerSet must hold at least one region");
+    }
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_CONFIG_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (cycle, sequence, callback) events.
+ * Ties at the same cycle execute in scheduling order, which keeps the
+ * simulation deterministic.
+ */
+
+#ifndef PROTOZOA_COMMON_EVENT_QUEUE_HH
+#define PROTOZOA_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace protozoa {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Cycle now() const { return curCycle; }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void
+    schedule(Cycle delay, Callback cb)
+    {
+        events.push(Event{curCycle + delay, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb at absolute cycle @p when (>= now). */
+    void
+    scheduleAt(Cycle when, Callback cb)
+    {
+        PROTO_ASSERT(when >= curCycle, "scheduling into the past");
+        events.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    bool empty() const { return events.empty(); }
+
+    /** Pop and run the next event. @return false when the queue is dry. */
+    bool
+    step()
+    {
+        if (events.empty())
+            return false;
+        // Moving out of the priority queue requires a const_cast; the
+        // element is popped immediately afterwards so this is safe.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        PROTO_ASSERT(ev.when >= curCycle, "time went backwards");
+        curCycle = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /**
+     * Run until the queue is empty.
+     * @param max_cycles safety net against protocol deadlock/livelock;
+     *        panics when exceeded.
+     */
+    void
+    run(Cycle max_cycles = ~Cycle(0))
+    {
+        while (step()) {
+            if (curCycle > max_cycles)
+                panic("event queue still busy at cycle %llu "
+                      "(deadlock or livelock?)",
+                      static_cast<unsigned long long>(curCycle));
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    Cycle curCycle = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_EVENT_QUEUE_HH

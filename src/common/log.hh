@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, patterned after gem5's
+ * panic()/fatal()/warn() trio.
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug).
+ *  - fatal():  the user supplied an impossible configuration.
+ *  - warn():   something suspicious but survivable happened.
+ *  - PROTO_DTRACE(): compiled-in debug tracing, gated by a runtime flag.
+ */
+
+#ifndef PROTOZOA_COMMON_LOG_HH
+#define PROTOZOA_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace protozoa {
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Debug-trace control: when true, PROTO_DTRACE statements print. */
+extern bool debugTraceEnabled;
+
+/** Print a debug-trace line (no-op unless debugTraceEnabled). */
+void dtrace(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like invariant check that survives NDEBUG builds.
+ * Use for protocol invariants whose violation must never be silent.
+ */
+#define PROTO_ASSERT(cond, fmt, ...)                                      \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::protozoa::panic("assertion '%s' failed at %s:%d: " fmt,    \
+                              #cond, __FILE__, __LINE__,                  \
+                              ##__VA_ARGS__);                             \
+    } while (0)
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_LOG_HH

@@ -1,0 +1,146 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <ostream>
+
+namespace protozoa {
+
+const char *
+ctrlClassName(CtrlClass c)
+{
+    switch (c) {
+      case CtrlClass::Req:     return "REQ";
+      case CtrlClass::Fwd:     return "FWD";
+      case CtrlClass::Inv:     return "INV";
+      case CtrlClass::Ack:     return "ACK";
+      case CtrlClass::Nack:    return "NACK";
+      case CtrlClass::DataHdr: return "DHDR";
+      default:                 return "?";
+    }
+}
+
+void
+L1Stats::merge(const L1Stats &o)
+{
+    loads += o.loads;
+    stores += o.stores;
+    hits += o.hits;
+    misses += o.misses;
+    invMsgsReceived += o.invMsgsReceived;
+    blocksInvalidated += o.blocksInvalidated;
+    usedDataBytes += o.usedDataBytes;
+    unusedDataBytes += o.unusedDataBytes;
+    for (unsigned i = 0; i < kNumCtrlClasses; ++i)
+        ctrlBytes[i] += o.ctrlBytes[i];
+    for (unsigned i = 0; i <= kMaxRegionWords; ++i)
+        blockSizeHist[i] += o.blockSizeHist[i];
+}
+
+std::uint64_t
+L1Stats::ctrlBytesTotal() const
+{
+    return std::accumulate(ctrlBytes.begin(), ctrlBytes.end(),
+                           std::uint64_t(0));
+}
+
+void
+DirStats::merge(const DirStats &o)
+{
+    requests += o.requests;
+    l2Misses += o.l2Misses;
+    recalls += o.recalls;
+    bloomFalseProbes += o.bloomFalseProbes;
+    threeHopDirect += o.threeHopDirect;
+    memReadBytes += o.memReadBytes;
+    memWriteBytes += o.memWriteBytes;
+    ownedOneOwnerOnly += o.ownedOneOwnerOnly;
+    ownedOneOwnerPlusSharers += o.ownedOneOwnerPlusSharers;
+    ownedMultiOwner += o.ownedMultiOwner;
+}
+
+void
+NetStats::merge(const NetStats &o)
+{
+    messages += o.messages;
+    bytes += o.bytes;
+    flits += o.flits;
+    flitHops += o.flitHops;
+}
+
+double
+RunStats::mpki() const
+{
+    return instructions == 0
+        ? 0.0
+        : 1000.0 * static_cast<double>(l1.misses) /
+              static_cast<double>(instructions);
+}
+
+double
+RunStats::usedDataFraction() const
+{
+    const auto total = l1.dataBytes();
+    return total == 0
+        ? 1.0
+        : static_cast<double>(l1.usedDataBytes) / static_cast<double>(total);
+}
+
+TextTable::TextTable(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            for (std::size_t p = cells[c].size(); p < width[c] + 2; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+
+    emit(headers);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+TextTable::fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, 100.0 * v);
+    return buf;
+}
+
+} // namespace protozoa

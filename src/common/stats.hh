@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Statistics containers for the simulated memory system.
+ *
+ * Counters are plain structs (cheap to bump in hot paths) that the
+ * System aggregates into a StatsReport at the end of a run. The
+ * categories mirror the paper's evaluation:
+ *
+ *  - data bytes split into Used / Unused (Fig. 9),
+ *  - control bytes split by message class REQ/FWD/INV/ACK/NACK plus
+ *    data-message headers (Fig. 10),
+ *  - directory Owned-state sharer census (Fig. 11),
+ *  - L1 block-size distribution (Fig. 12),
+ *  - misses and invalidations (Table 1, Fig. 13),
+ *  - flit-hops (Fig. 15) and execution cycles (Fig. 14).
+ */
+
+#ifndef PROTOZOA_COMMON_STATS_HH
+#define PROTOZOA_COMMON_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace protozoa {
+
+/** Control-traffic classes used in Fig. 10 (+ data-message headers). */
+enum class CtrlClass : unsigned
+{
+    Req,      ///< GETS/GETX issued by an L1
+    Fwd,      ///< forwarded requests (FWD_GETS/FWD_GETX) arriving at an L1
+    Inv,      ///< invalidations arriving at an L1
+    Ack,      ///< ACK/ACK_S/WB_ACK/UNBLOCK control responses
+    Nack,     ///< negative acknowledgements
+    DataHdr,  ///< header ("message and data identifiers") of data messages
+    NumClasses
+};
+
+constexpr unsigned kNumCtrlClasses =
+    static_cast<unsigned>(CtrlClass::NumClasses);
+
+const char *ctrlClassName(CtrlClass c);
+
+/** Per-L1 statistics, summed over all cores by the System. */
+struct L1Stats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** Invalidation-type messages (INV or FWD-GETX) received. */
+    std::uint64_t invMsgsReceived = 0;
+    /** Cache blocks actually killed by remote coherence activity. */
+    std::uint64_t blocksInvalidated = 0;
+
+    /** Data bytes moved to/from this L1 that the core did touch. */
+    std::uint64_t usedDataBytes = 0;
+    /** Data bytes moved to/from this L1 never touched before death. */
+    std::uint64_t unusedDataBytes = 0;
+
+    /** Control bytes sent+received, by class. */
+    std::array<std::uint64_t, kNumCtrlClasses> ctrlBytes{};
+
+    /** Histogram of inserted block sizes, indexed by word count. */
+    std::array<std::uint64_t, kMaxRegionWords + 1> blockSizeHist{};
+
+    void merge(const L1Stats &o);
+
+    std::uint64_t dataBytes() const { return usedDataBytes + unusedDataBytes; }
+    std::uint64_t ctrlBytesTotal() const;
+    std::uint64_t totalBytes() const { return dataBytes() + ctrlBytesTotal(); }
+};
+
+/** Per-directory-tile statistics. */
+struct DirStats
+{
+    std::uint64_t requests = 0;       ///< GETS/GETX processed
+    std::uint64_t l2Misses = 0;       ///< region fetches from memory
+    std::uint64_t recalls = 0;        ///< inclusive-L2 eviction recalls
+    std::uint64_t memReadBytes = 0;
+    std::uint64_t memWriteBytes = 0;
+
+    /** Probes sent to cores the exact sets do not list (Bloom FPs). */
+    std::uint64_t bloomFalseProbes = 0;
+
+    /** Transactions served by 3-hop owner-to-requester forwarding. */
+    std::uint64_t threeHopDirect = 0;
+
+    /** Fig. 11 census: requests that found the region Owned. */
+    std::uint64_t ownedOneOwnerOnly = 0;
+    std::uint64_t ownedOneOwnerPlusSharers = 0;
+    std::uint64_t ownedMultiOwner = 0;
+
+    void merge(const DirStats &o);
+};
+
+/** Network statistics (whole mesh). */
+struct NetStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t flitHops = 0;   ///< Fig. 15 dynamic-energy proxy
+
+    void merge(const NetStats &o);
+};
+
+/** Whole-run aggregate produced by System::report(). */
+struct RunStats
+{
+    L1Stats l1;
+    DirStats dir;
+    NetStats net;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+
+    double mpki() const;
+    /** Fraction of data bytes that were actually used. */
+    double usedDataFraction() const;
+};
+
+/**
+ * Fixed-width text table used by the bench harnesses to print
+ * paper-style rows.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    static std::string fmt(double v, int prec = 2);
+    static std::string pct(double v, int prec = 0);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_STATS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fundamental scalar types and address arithmetic shared by every module.
+ *
+ * The simulator models a 16-core CMP whose memory system operates on
+ * 8-byte words grouped into aligned REGIONs (the fixed coherence-metadata
+ * granularity of the Protozoa paper, 64 bytes by default).
+ */
+
+#ifndef PROTOZOA_COMMON_TYPES_HH
+#define PROTOZOA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace protozoa {
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Core / L1 identifier. Also indexes mesh nodes. */
+using CoreId = std::uint16_t;
+
+/** Tile (shared-L2 slice / directory bank) identifier. */
+using TileId = std::uint16_t;
+
+/** Program counter of the instruction performing a memory access. */
+using Pc = std::uint64_t;
+
+/** Size of a machine word in bytes; the finest coherence granularity. */
+constexpr unsigned kWordBytes = 8;
+
+/** log2(kWordBytes), for shifting addresses to word indices. */
+constexpr unsigned kWordShift = 3;
+
+/** Hard upper bound on region size (words) used for fixed-size bitmaps. */
+constexpr unsigned kMaxRegionWords = 16;   // supports regions up to 128 B
+
+/** A bitmap with one bit per word of a region. */
+using WordMask = std::uint32_t;
+
+/** Round an address down to its containing word. */
+constexpr Addr
+wordAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kWordBytes - 1);
+}
+
+/** Index of the word containing @p a within a region of @p region_bytes. */
+constexpr unsigned
+wordIndexIn(Addr a, unsigned region_bytes)
+{
+    return static_cast<unsigned>((a & (region_bytes - 1)) >> kWordShift);
+}
+
+/** Base (aligned) address of the region containing @p a. */
+constexpr Addr
+regionBase(Addr a, unsigned region_bytes)
+{
+    return a & ~static_cast<Addr>(region_bytes - 1);
+}
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_TYPES_HH

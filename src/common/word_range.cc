@@ -1,0 +1,41 @@
+#include "common/word_range.hh"
+
+#include <sstream>
+
+namespace protozoa {
+
+std::string
+WordRange::toString() const
+{
+    std::ostringstream os;
+    if (empty())
+        os << "[empty]";
+    else
+        os << "[" << start << "-" << end << "]";
+    return os.str();
+}
+
+WordRange
+clipAgainst(const WordRange &pred, const WordRange &need,
+            const WordRange &obstacle)
+{
+    assert(pred.covers(need));
+    assert(!obstacle.overlaps(need));
+    if (!pred.overlaps(obstacle))
+        return pred;
+
+    WordRange out = pred;
+    if (obstacle.start > need.end) {
+        // Obstacle sits to the right of the needed words.
+        out.end = std::min(out.end, obstacle.start - 1);
+    }
+    if (obstacle.end < need.start) {
+        // Obstacle sits to the left of the needed words.
+        out.start = std::max(out.start, obstacle.end + 1);
+    }
+    assert(out.covers(need));
+    assert(!out.overlaps(obstacle));
+    return out;
+}
+
+} // namespace protozoa

@@ -1,0 +1,4 @@
+// WordStore and GoldenMemory are header-only; this translation unit
+// exists to give the module a home for future out-of-line growth and to
+// verify the header is self-contained.
+#include "mem/golden_memory.hh"

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Word-granularity value storage.
+ *
+ * WordStore is a sparse map from word-aligned addresses to 64-bit
+ * values with a deterministic initial image (a hash of the address), so
+ * untouched memory has a well-defined, reproducible content.
+ *
+ * Two instances exist per simulation:
+ *  - the MainMemory image behind the shared L2 (updated only by L2
+ *    dirty evictions), and
+ *  - the GoldenMemory oracle (updated at every store commit point),
+ *    used to check that each load observes the most-recent store —
+ *    i.e. that the protocol enforces word-level SWMR end to end.
+ */
+
+#ifndef PROTOZOA_MEM_GOLDEN_MEMORY_HH
+#define PROTOZOA_MEM_GOLDEN_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace protozoa {
+
+class WordStore
+{
+  public:
+    /** Deterministic initial content of a word (before any store). */
+    static std::uint64_t
+    initialValue(Addr word_addr)
+    {
+        std::uint64_t z = word_addr + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Read the word containing @p addr. */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        const Addr wa = wordAlign(addr);
+        auto it = words.find(wa);
+        return it == words.end() ? initialValue(wa) : it->second;
+    }
+
+    /** Write the word containing @p addr. */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        words[wordAlign(addr)] = value;
+    }
+
+    std::size_t touchedWords() const { return words.size(); }
+
+    void clear() { words.clear(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words;
+};
+
+/**
+ * Oracle for load-value checking.
+ *
+ * Stores commit here at the instant the simulated core performs them;
+ * loads are checked against the current oracle value. Violations are
+ * counted (and optionally reported) rather than aborting, so tests can
+ * assert on the violation count.
+ */
+class GoldenMemory
+{
+  public:
+    void
+    commitStore(Addr addr, std::uint64_t value)
+    {
+        store.write(addr, value);
+    }
+
+    /** @return true if @p observed matches the oracle for @p addr. */
+    bool
+    checkLoad(Addr addr, std::uint64_t observed)
+    {
+        const std::uint64_t expect = store.read(addr);
+        if (expect == observed)
+            return true;
+        ++violationCount;
+        lastBadAddr = addr;
+        lastExpect = expect;
+        lastObserved = observed;
+        return false;
+    }
+
+    std::uint64_t expected(Addr addr) const { return store.read(addr); }
+
+    std::uint64_t violations() const { return violationCount; }
+    Addr lastViolationAddr() const { return lastBadAddr; }
+    std::uint64_t lastExpectedValue() const { return lastExpect; }
+    std::uint64_t lastObservedValue() const { return lastObserved; }
+
+  private:
+    WordStore store;
+    std::uint64_t violationCount = 0;
+    Addr lastBadAddr = 0;
+    std::uint64_t lastExpect = 0;
+    std::uint64_t lastObserved = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_MEM_GOLDEN_MEMORY_HH

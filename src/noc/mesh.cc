@@ -1,0 +1,3 @@
+// Mesh is header-only; this translation unit verifies the header is
+// self-contained.
+#include "noc/mesh.hh"

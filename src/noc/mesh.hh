@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Analytic 2-D mesh interconnect (Table 4: 4x4 mesh, 16-byte flits,
+ * 2-network-cycle links at half the core clock).
+ *
+ * Every L1 and its co-located L2 tile share a mesh node. The model is
+ * XY-routed and contention-free except for per-(src,dst) FIFO ordering,
+ * which the coherence protocol relies on for correctness (e.g. an
+ * eviction PUT never overtakes the WB_RESP that superseded it).
+ *
+ * The mesh owns the Fig. 15 statistics: flit-hops are the paper's
+ * dynamic-energy proxy for the interconnect.
+ */
+
+#ifndef PROTOZOA_NOC_MESH_HH
+#define PROTOZOA_NOC_MESH_HH
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace protozoa {
+
+class Mesh
+{
+  public:
+    Mesh(EventQueue &eq, const SystemConfig &cfg)
+        : eventq(eq), cols(cfg.meshCols), rows(cfg.meshRows),
+          flitBytes(cfg.flitBytes), hopLatency(cfg.hopLatency),
+          flitSerialization(cfg.flitSerialization)
+    {
+    }
+
+    /** Manhattan distance between two mesh nodes under XY routing. */
+    unsigned
+    hops(unsigned src, unsigned dst) const
+    {
+        const int sx = static_cast<int>(src % cols);
+        const int sy = static_cast<int>(src / cols);
+        const int dx = static_cast<int>(dst % cols);
+        const int dy = static_cast<int>(dst / cols);
+        return static_cast<unsigned>(std::abs(sx - dx) + std::abs(sy - dy));
+    }
+
+    /** Number of flits needed to carry @p bytes. */
+    unsigned
+    flitsFor(unsigned bytes) const
+    {
+        return (bytes + flitBytes - 1) / flitBytes;
+    }
+
+    /**
+     * Send @p bytes from node @p src to node @p dst; runs @p deliver at
+     * the arrival cycle. Same-(src,dst) messages never reorder.
+     *
+     * @return the delivery delay in core cycles.
+     */
+    Cycle
+    send(unsigned src, unsigned dst, unsigned bytes,
+         std::function<void()> deliver)
+    {
+        const unsigned h = hops(src, dst);
+        const unsigned flits = flitsFor(bytes);
+
+        stats.messages += 1;
+        stats.bytes += bytes;
+        stats.flits += flits;
+        stats.flitHops += static_cast<std::uint64_t>(flits) * h;
+
+        Cycle latency = 1 + hopLatency * h +
+            flitSerialization * (flits > 0 ? flits - 1 : 0);
+        Cycle arrival = eventq.now() + latency;
+
+        // Per-pair FIFO: never deliver before the previous message on
+        // this (src,dst) channel.
+        Cycle &last = lastArrival[{src, dst}];
+        if (arrival <= last)
+            arrival = last + 1;
+        last = arrival;
+
+        eventq.scheduleAt(arrival, std::move(deliver));
+        return arrival - eventq.now();
+    }
+
+    const NetStats &netStats() const { return stats; }
+    void clearStats() { stats = NetStats(); }
+
+  private:
+    EventQueue &eventq;
+    unsigned cols;
+    unsigned rows;
+    unsigned flitBytes;
+    Cycle hopLatency;
+    Cycle flitSerialization;
+
+    NetStats stats;
+    std::map<std::pair<unsigned, unsigned>, Cycle> lastArrival;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_NOC_MESH_HH

@@ -1,0 +1,83 @@
+#include "protocol/coherence_msg.hh"
+
+#include <sstream>
+
+namespace protozoa {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GETS:     return "GETS";
+      case MsgType::GETX:     return "GETX";
+      case MsgType::PUT:      return "PUT";
+      case MsgType::UNBLOCK:  return "UNBLOCK";
+      case MsgType::FWD_GETS: return "FWD_GETS";
+      case MsgType::FWD_GETX: return "FWD_GETX";
+      case MsgType::INV:      return "INV";
+      case MsgType::WB_RESP:  return "WB_RESP";
+      case MsgType::ACK:      return "ACK";
+      case MsgType::ACK_S:    return "ACK_S";
+      case MsgType::NACK:     return "NACK";
+      case MsgType::DATA:     return "DATA";
+      case MsgType::WB_ACK:   return "WB_ACK";
+    }
+    return "?";
+}
+
+unsigned
+CoherenceMsg::dataWords() const
+{
+    unsigned n = 0;
+    for (const auto &seg : data)
+        n += static_cast<unsigned>(seg.words.size());
+    return n;
+}
+
+unsigned
+CoherenceMsg::sizeBytes(unsigned control_bytes) const
+{
+    return control_bytes + dataWords() * kWordBytes;
+}
+
+CtrlClass
+CoherenceMsg::ctrlClass() const
+{
+    switch (type) {
+      case MsgType::GETS:
+      case MsgType::GETX:
+        return CtrlClass::Req;
+      case MsgType::FWD_GETS:
+      case MsgType::FWD_GETX:
+        return CtrlClass::Fwd;
+      case MsgType::INV:
+        return CtrlClass::Inv;
+      case MsgType::ACK:
+      case MsgType::ACK_S:
+      case MsgType::WB_ACK:
+      case MsgType::UNBLOCK:
+        return CtrlClass::Ack;
+      case MsgType::NACK:
+        return CtrlClass::Nack;
+      case MsgType::DATA:
+      case MsgType::WB_RESP:
+      case MsgType::PUT:
+        return CtrlClass::DataHdr;
+    }
+    return CtrlClass::Ack;
+}
+
+std::string
+CoherenceMsg::toString() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " region=0x" << std::hex << region
+       << std::dec << " range=" << range.toString()
+       << " sender=" << sender << " req=" << requester
+       << " words=" << dataWords();
+    if (type == MsgType::DATA)
+        os << " grant=" << static_cast<int>(grant);
+    return os.str();
+}
+
+} // namespace protozoa

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Coherence message vocabulary shared by the L1 and directory
+ * controllers.
+ *
+ * The set matches a 4-hop MESI CMP directory protocol plus the Protozoa
+ * additions of Table 3: variable-granularity probes (a probe names the
+ * WordRange it applies to), the non-overlapping acknowledgment ACK_S,
+ * and the PUT/PUT_LAST writeback pair that lets multiple blocks of one
+ * region retire independently.
+ */
+
+#ifndef PROTOZOA_PROTOCOL_COHERENCE_MSG_HH
+#define PROTOZOA_PROTOCOL_COHERENCE_MSG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "common/word_range.hh"
+
+namespace protozoa {
+
+enum class MsgType : std::uint8_t
+{
+    // L1 -> directory requests
+    GETS,       ///< read miss: request words for reading
+    GETX,       ///< write miss: request words for writing
+    PUT,        ///< eviction writeback of one dirty block
+    UNBLOCK,    ///< requester signals transaction completion
+
+    // directory -> L1 probes
+    FWD_GETS,   ///< downgrade probe on behalf of a reader
+    FWD_GETX,   ///< invalidate/writeback probe on behalf of a writer
+    INV,        ///< invalidate probe to a (clean) sharer
+
+    // L1 -> directory probe responses
+    WB_RESP,    ///< probe response carrying dirty data
+    ACK,        ///< probe invalidated data; nothing retained
+    ACK_S,      ///< probe acknowledged; non-overlapping data retained
+    NACK,       ///< probe found nothing (stale sharer/owner info)
+
+    // directory -> L1 responses
+    DATA,       ///< miss response with words and a grant state
+    WB_ACK,     ///< acknowledges an eviction PUT
+};
+
+const char *msgTypeName(MsgType t);
+
+/** Permission granted with a DATA response. */
+enum class GrantState : std::uint8_t { S, E, M };
+
+/** A contiguous run of words with payload, within one region. */
+struct DataSegment
+{
+    WordRange range;
+    std::vector<std::uint64_t> words;
+
+    DataSegment() = default;
+    DataSegment(WordRange r, std::vector<std::uint64_t> w)
+        : range(r), words(std::move(w))
+    {
+    }
+};
+
+struct CoherenceMsg
+{
+    MsgType type = MsgType::ACK;
+
+    /** Mesh node of the sender / receiver. */
+    unsigned srcNode = 0;
+    unsigned dstNode = 0;
+    /** True when the destination is a directory tile, not an L1. */
+    bool dstIsDir = false;
+
+    /** L1 that sent the message (valid for L1-originated types). */
+    CoreId sender = 0;
+    /** Original requester a probe acts on behalf of. */
+    CoreId requester = 0;
+
+    Addr region = 0;
+    /** Request / probe / data range. */
+    WordRange range;
+
+    /** Payload for DATA / WB_RESP / PUT. */
+    std::vector<DataSegment> data;
+
+    // Probe semantics (directory -> L1).
+    /** Keep blocks that do not overlap `range` (Protozoa-MW / SW+MR). */
+    bool keepNonOverlap = false;
+    /** Write back and clean *all* dirty blocks (SW+MR single-writer). */
+    bool revokeWritePerm = false;
+    /**
+     * 3-hop mode: supply DATA for `reqFetchRange` directly to the
+     * requester if the resident blocks cover it (Sec. 6).
+     */
+    bool tryDirect = false;
+    /** The requester's fetch range (may differ from the probe range). */
+    WordRange reqFetchRange;
+
+    // Probe-response info (L1 -> directory).
+    /** The probed L1 sent DATA straight to the requester (3-hop). */
+    bool suppliedDirect = false;
+    /** Sender still holds dirty block(s) of the region. */
+    bool stillOwner = false;
+    /** Sender still holds some block of the region. */
+    bool stillSharer = false;
+
+    /**
+     * GETX only: the requester holds the words in S and asks for
+     * permission alone; the directory answers with a payload-free DATA
+     * when the requester is still a tracked reader.
+     */
+    bool upgrade = false;
+
+    // PUT flags.
+    /** No block of the region remains at the sender. */
+    bool last = false;
+    /** No dirty block remains: demote sender from writer to reader. */
+    bool demoteOwner = false;
+
+    /** Grant carried by DATA. */
+    GrantState grant = GrantState::S;
+
+    /** Total payload words across all segments. */
+    unsigned dataWords() const;
+
+    /** On-wire size: control header plus payload. */
+    unsigned sizeBytes(unsigned control_bytes) const;
+
+    /** Stats class of the header/control portion (Fig. 10). */
+    CtrlClass ctrlClass() const;
+
+    std::string toString() const;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_PROTOCOL_COHERENCE_MSG_HH

@@ -1,0 +1,656 @@
+#include "protocol/dir_controller.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace protozoa {
+
+unsigned
+CoreSet::count() const
+{
+    return static_cast<unsigned>(std::popcount(bits));
+}
+
+DirController::DirController(TileId id, const SystemConfig &config,
+                             EventQueue &eq, Router &rt,
+                             WordStore &mem)
+    : cfg(config), tileId(id), eventq(eq), router(rt), memImage(mem)
+{
+    const std::uint64_t blocks = cfg.l2BytesPerTile / cfg.regionBytes;
+    setsPerTile = static_cast<unsigned>(blocks / cfg.l2Assoc);
+    PROTO_ASSERT(setsPerTile > 0, "L2 tile too small");
+    sets.resize(setsPerTile);
+    for (auto &set : sets)
+        set.resize(cfg.l2Assoc);
+
+    if (cfg.directory == DirectoryKind::TaglessBloom) {
+        bloomReaders = std::make_unique<CountingBloomSharers>(
+            cfg.bloomBuckets, cfg.bloomHashes, cfg.numCores);
+        bloomWriters = std::make_unique<CountingBloomSharers>(
+            cfg.bloomBuckets, cfg.bloomHashes, cfg.numCores);
+    }
+}
+
+void
+DirController::setReader(L2Entry &entry, CoreId core)
+{
+    if (!entry.readers.test(core)) {
+        entry.readers.set(core);
+        if (bloomReaders)
+            bloomReaders->add(entry.region, core);
+    }
+}
+
+void
+DirController::clearReader(L2Entry &entry, CoreId core)
+{
+    if (entry.readers.test(core)) {
+        entry.readers.reset(core);
+        if (bloomReaders)
+            bloomReaders->remove(entry.region, core);
+    }
+}
+
+void
+DirController::setWriter(L2Entry &entry, CoreId core)
+{
+    if (!entry.writers.test(core)) {
+        entry.writers.set(core);
+        if (bloomWriters)
+            bloomWriters->add(entry.region, core);
+    }
+}
+
+void
+DirController::clearWriter(L2Entry &entry, CoreId core)
+{
+    if (entry.writers.test(core)) {
+        entry.writers.reset(core);
+        if (bloomWriters)
+            bloomWriters->remove(entry.region, core);
+    }
+}
+
+void
+DirController::clearAllSharers(L2Entry &entry)
+{
+    entry.readers.forEach(
+        [&](CoreId c) { clearReader(entry, c); });
+    entry.writers.forEach(
+        [&](CoreId c) { clearWriter(entry, c); });
+}
+
+CoreSet
+DirController::probeWriters(const L2Entry &entry) const
+{
+    if (!bloomWriters)
+        return entry.writers;
+    return CoreSet::fromRaw(bloomWriters->query(entry.region));
+}
+
+CoreSet
+DirController::probeReaders(const L2Entry &entry) const
+{
+    if (!bloomReaders)
+        return entry.readers;
+    // A Bloom-writer core receives FWD_GETX already; do not also INV.
+    return CoreSet::fromRaw(bloomReaders->query(entry.region))
+        .minus(probeWriters(entry));
+}
+
+Cycle
+DirController::occupy(Cycle latency)
+{
+    const Cycle start = std::max(eventq.now(), busyUntil);
+    busyUntil = start + latency;
+    return busyUntil;
+}
+
+void
+DirController::sendMsg(CoherenceMsg msg, Cycle when)
+{
+    msg.srcNode = tileId;
+    msg.dstIsDir = false;
+    eventq.scheduleAt(when, [this, m = std::move(msg)]() mutable {
+        router.send(std::move(m));
+    });
+}
+
+unsigned
+DirController::setIndexOf(Addr region) const
+{
+    const Addr region_index = region / cfg.regionBytes;
+    return static_cast<unsigned>((region_index / cfg.l2Tiles) %
+                                 setsPerTile);
+}
+
+DirController::L2Entry *
+DirController::lookup(Addr region)
+{
+    for (auto &entry : sets[setIndexOf(region)]) {
+        if (entry.valid && entry.region == region)
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+DirController::busy(Addr region) const
+{
+    if (active.find(region) != active.end())
+        return true;
+    auto it = waiting.find(region);
+    return it != waiting.end() && !it->second.empty();
+}
+
+DirController::DirView
+DirController::view(Addr region)
+{
+    DirView v;
+    if (const L2Entry *e = lookup(region)) {
+        v.present = true;
+        v.readers = e->readers;
+        v.writers = e->writers;
+        v.dirty = e->dirty;
+    }
+    return v;
+}
+
+void
+DirController::receive(const CoherenceMsg &msg)
+{
+    dtrace("dir%u <- %s", tileId, msg.toString().c_str());
+    switch (msg.type) {
+      case MsgType::GETS:
+      case MsgType::GETX:
+      case MsgType::PUT:
+        if (active.find(msg.region) != active.end()) {
+            waiting[msg.region].push_back(msg);
+            return;
+        }
+        dispatch(msg);
+        break;
+      case MsgType::UNBLOCK:
+        finishTxn(msg.region);
+        break;
+      case MsgType::WB_RESP:
+      case MsgType::ACK:
+      case MsgType::ACK_S:
+      case MsgType::NACK:
+        handleProbeResponse(msg);
+        break;
+      default:
+        panic("dir %u: unexpected message %s", tileId,
+              msg.toString().c_str());
+    }
+}
+
+void
+DirController::dispatch(const CoherenceMsg &msg)
+{
+    switch (msg.type) {
+      case MsgType::GETS:
+      case MsgType::GETX:
+        startRequest(msg);
+        break;
+      case MsgType::PUT:
+        handlePut(msg);
+        break;
+      default:
+        panic("dir %u: cannot dispatch %s", tileId,
+              msg.toString().c_str());
+    }
+}
+
+void
+DirController::startRequest(const CoherenceMsg &msg)
+{
+    ++stats.requests;
+
+    Txn txn;
+    txn.kind = Txn::Kind::Request;
+    txn.reqType = msg.type;
+    txn.requester = msg.sender;
+    txn.reqRange = msg.range;
+    txn.upgrade = msg.upgrade;
+    active.emplace(msg.region, txn);
+
+    occupy(cfg.l2Latency);
+
+    if (lookup(msg.region)) {
+        probePhase(msg.region);
+        return;
+    }
+
+    // L2 miss: reserve a slot, possibly recalling an inclusive victim.
+    ++stats.l2Misses;
+    auto &set = sets[setIndexOf(msg.region)];
+    L2Entry *slot = nullptr;
+    for (auto &entry : set) {
+        if (!entry.valid) {
+            slot = &entry;
+            break;
+        }
+    }
+
+    if (!slot) {
+        // Evict the LRU entry that is not mid-transaction.
+        for (auto &entry : set) {
+            if (entry.filling || busy(entry.region))
+                continue;
+            if (!slot || entry.lruStamp < slot->lruStamp)
+                slot = &entry;
+        }
+        if (!slot)
+            panic("dir %u: no evictable L2 entry in set %u", tileId,
+                  setIndexOf(msg.region));
+        const Addr victim = slot->region;
+        beginRecall(victim, msg.region);
+        return;
+    }
+
+    slot->valid = true;
+    slot->filling = true;
+    slot->dirty = false;
+    slot->region = msg.region;
+    slot->readers = CoreSet();
+    slot->writers = CoreSet();
+    slot->lruStamp = ++lruClock;
+    fetchFromMemory(msg.region);
+}
+
+void
+DirController::beginRecall(Addr victim, Addr parent)
+{
+    ++stats.recalls;
+    L2Entry *entry = lookup(victim);
+    PROTO_ASSERT(entry, "recall of absent region");
+
+    Txn txn;
+    txn.kind = Txn::Kind::Recall;
+    txn.parentRegion = parent;
+    txn.reqRange = WordRange::full(cfg.regionWords());
+
+    unsigned probes = 0;
+    const Cycle when = occupy(cfg.l2Latency);
+    CoreSet holders = entry->readers;
+    entry->writers.forEach([&](CoreId c) { holders.set(c); });
+    holders.forEach([&](CoreId c) {
+        CoherenceMsg inv;
+        inv.type = MsgType::INV;
+        inv.dstNode = c;
+        inv.region = victim;
+        inv.range = WordRange::full(cfg.regionWords());
+        inv.keepNonOverlap = false;
+        sendMsg(std::move(inv), when);
+        ++probes;
+    });
+
+    txn.pending = probes;
+    active.emplace(victim, txn);
+    if (probes == 0)
+        finishRecall(victim);
+}
+
+void
+DirController::finishRecall(Addr victim)
+{
+    auto it = active.find(victim);
+    PROTO_ASSERT(it != active.end() &&
+                 it->second.kind == Txn::Kind::Recall,
+                 "finishRecall without recall txn");
+    const Addr parent = it->second.parentRegion;
+
+    L2Entry *entry = lookup(victim);
+    PROTO_ASSERT(entry, "recall victim vanished");
+    if (entry->dirty) {
+        for (unsigned w = 0; w < cfg.regionWords(); ++w)
+            memImage.write(victim + w * kWordBytes, entry->words[w]);
+        stats.memWriteBytes += cfg.regionBytes;
+    }
+
+    // Hand the slot to the parent region.
+    clearAllSharers(*entry);
+    entry->valid = true;
+    entry->filling = true;
+    entry->dirty = false;
+    entry->region = parent;
+    entry->lruStamp = ++lruClock;
+
+    active.erase(it);
+    fetchFromMemory(parent);
+    drainQueue(victim);
+}
+
+void
+DirController::fetchFromMemory(Addr region)
+{
+    stats.memReadBytes += cfg.regionBytes;
+    const Cycle when = occupy(cfg.l2Latency) + cfg.memLatency;
+    eventq.scheduleAt(when, [this, region] {
+        L2Entry *entry = lookup(region);
+        PROTO_ASSERT(entry && entry->filling, "fill target vanished");
+        entry->words.resize(cfg.regionWords());
+        for (unsigned w = 0; w < cfg.regionWords(); ++w)
+            entry->words[w] = memImage.read(region + w * kWordBytes);
+        entry->filling = false;
+        probePhase(region);
+    });
+}
+
+void
+DirController::recordOwnedCensus(const L2Entry &entry)
+{
+    if (entry.writers.none())
+        return;
+    if (entry.writers.count() > 1)
+        ++stats.ownedMultiOwner;
+    else if (entry.readers.any())
+        ++stats.ownedOneOwnerPlusSharers;
+    else
+        ++stats.ownedOneOwnerOnly;
+}
+
+void
+DirController::probePhase(Addr region)
+{
+    auto it = active.find(region);
+    PROTO_ASSERT(it != active.end(), "probePhase without txn");
+    Txn &txn = it->second;
+    L2Entry *entry = lookup(region);
+    PROTO_ASSERT(entry && !entry->filling, "probePhase without entry");
+
+    recordOwnedCensus(*entry);
+
+    const bool adaptive_coherence =
+        cfg.protocol == ProtocolKind::ProtozoaSWMR ||
+        cfg.protocol == ProtocolKind::ProtozoaMW;
+    const WordRange probe_range =
+        adaptive_coherence ? txn.reqRange
+                           : WordRange::full(cfg.regionWords());
+
+    const Cycle when = occupy(cfg.l2Latency);
+
+    const CoreSet probe_writers = probeWriters(*entry);
+    const CoreSet probe_readers = probeReaders(*entry);
+    auto count_false = [&](CoreId c) {
+        if (!entry->writers.test(c) && !entry->readers.test(c))
+            ++stats.bloomFalseProbes;
+    };
+
+    std::vector<CoherenceMsg> probes;
+    if (txn.reqType == MsgType::GETX) {
+        probe_writers.forEach([&](CoreId c) {
+            if (c == txn.requester)
+                return;
+            CoherenceMsg fwd;
+            fwd.type = MsgType::FWD_GETX;
+            fwd.dstNode = c;
+            fwd.region = region;
+            fwd.range = probe_range;
+            fwd.requester = txn.requester;
+            fwd.keepNonOverlap = adaptive_coherence;
+            fwd.revokeWritePerm =
+                cfg.protocol == ProtocolKind::ProtozoaSWMR;
+            count_false(c);
+            probes.push_back(std::move(fwd));
+        });
+        probe_readers.forEach([&](CoreId c) {
+            if (c == txn.requester)
+                return;
+            CoherenceMsg inv;
+            inv.type = MsgType::INV;
+            inv.dstNode = c;
+            inv.region = region;
+            inv.range = probe_range;
+            inv.requester = txn.requester;
+            inv.keepNonOverlap = adaptive_coherence;
+            count_false(c);
+            probes.push_back(std::move(inv));
+        });
+    } else {
+        probe_writers.forEach([&](CoreId c) {
+            if (c == txn.requester)
+                return;
+            CoherenceMsg fwd;
+            fwd.type = MsgType::FWD_GETS;
+            fwd.dstNode = c;
+            fwd.region = region;
+            fwd.range = probe_range;
+            fwd.requester = txn.requester;
+            count_false(c);
+            probes.push_back(std::move(fwd));
+        });
+    }
+
+    // Sec. 6 3-hop: with a single probe target the owner may forward
+    // the data straight to the requester (4-hop is the fallback).
+    if (cfg.threeHop && probes.size() == 1 && !txn.upgrade) {
+        probes.front().tryDirect = true;
+        probes.front().reqFetchRange = txn.reqRange;
+    }
+
+    txn.pending = static_cast<unsigned>(probes.size());
+    for (auto &probe : probes)
+        sendMsg(std::move(probe), when);
+    if (txn.pending == 0)
+        respond(region);
+}
+
+void
+DirController::patchSegments(L2Entry &entry,
+                             const std::vector<DataSegment> &segs)
+{
+    if (segs.empty())
+        return;
+    PROTO_ASSERT(!entry.filling, "patch into filling entry");
+    for (const auto &seg : segs) {
+        for (unsigned w = seg.range.start; w <= seg.range.end; ++w)
+            entry.words[w] = seg.words[w - seg.range.start];
+    }
+    entry.dirty = true;
+}
+
+void
+DirController::updateSetsFromResponse(L2Entry &entry,
+                                      const CoherenceMsg &msg)
+{
+    dtrace("dir%u sets: region=%llx sender=%u stillO=%d stillS=%d "
+           "(was w=%llx r=%llx)",
+           tileId, static_cast<unsigned long long>(entry.region),
+           msg.sender, msg.stillOwner, msg.stillSharer,
+           static_cast<unsigned long long>(entry.writers.raw()),
+           static_cast<unsigned long long>(entry.readers.raw()));
+    if (msg.stillOwner) {
+        setWriter(entry, msg.sender);
+        clearReader(entry, msg.sender);
+    } else if (msg.stillSharer) {
+        clearWriter(entry, msg.sender);
+        setReader(entry, msg.sender);
+    } else {
+        clearWriter(entry, msg.sender);
+        clearReader(entry, msg.sender);
+    }
+}
+
+void
+DirController::handleProbeResponse(const CoherenceMsg &msg)
+{
+    auto it = active.find(msg.region);
+    PROTO_ASSERT(it != active.end(), "probe response without txn");
+    Txn &txn = it->second;
+    PROTO_ASSERT(txn.pending > 0, "unexpected probe response");
+
+    L2Entry *entry = lookup(msg.region);
+    PROTO_ASSERT(entry, "probe response without entry");
+    patchSegments(*entry, msg.data);
+    updateSetsFromResponse(*entry, msg);
+    if (msg.suppliedDirect) {
+        txn.directSupplied = true;
+        ++stats.threeHopDirect;
+    }
+
+    occupy(cfg.l2Latency);
+
+    if (--txn.pending > 0)
+        return;
+    if (txn.kind == Txn::Kind::Recall)
+        finishRecall(msg.region);
+    else
+        respond(msg.region);
+}
+
+void
+DirController::respond(Addr region)
+{
+    auto it = active.find(region);
+    PROTO_ASSERT(it != active.end(), "respond without txn");
+    Txn &txn = it->second;
+    L2Entry *entry = lookup(region);
+    PROTO_ASSERT(entry && !entry->filling, "respond without entry");
+
+    const CoreId req = txn.requester;
+
+    CoherenceMsg data;
+    data.type = MsgType::DATA;
+    data.dstNode = req;
+    data.region = region;
+    data.range = txn.reqRange;
+    data.requester = req;
+
+    if (txn.reqType == MsgType::GETX) {
+        // Payload-free upgrade: legal only while the requester stayed a
+        // tracked reader, which guarantees its S copy is still fresh.
+        const bool dataless = txn.upgrade && entry->readers.test(req);
+        data.grant = GrantState::M;
+        if (!dataless) {
+            std::vector<std::uint64_t> words;
+            for (unsigned w = txn.reqRange.start; w <= txn.reqRange.end;
+                 ++w)
+                words.push_back(entry->words[w]);
+            data.data.emplace_back(txn.reqRange, std::move(words));
+        }
+        setWriter(*entry, req);
+        clearReader(*entry, req);
+        if (cfg.protocol != ProtocolKind::ProtozoaMW) {
+            PROTO_ASSERT(entry->writers.only(req),
+                         "single-writer protocol with multiple owners: "
+                         "region=%llx writers=%llx readers=%llx req=%u "
+                         "upgrade=%d range=%s",
+                         static_cast<unsigned long long>(region),
+                         static_cast<unsigned long long>(
+                             entry->writers.raw()),
+                         static_cast<unsigned long long>(
+                             entry->readers.raw()),
+                         req, txn.upgrade, txn.reqRange.toString().c_str());
+        }
+    } else {
+        const bool exclusive =
+            entry->writers.none() && entry->readers.none();
+        data.grant = exclusive ? GrantState::E : GrantState::S;
+        if (exclusive || entry->writers.test(req)) {
+            // E grant, or a secondary GETS from an existing owner:
+            // either way the core keeps (or gains) writer tracking.
+            setWriter(*entry, req);
+        } else {
+            setReader(*entry, req);
+        }
+        std::vector<std::uint64_t> words;
+        for (unsigned w = txn.reqRange.start; w <= txn.reqRange.end; ++w)
+            words.push_back(entry->words[w]);
+        data.data.emplace_back(txn.reqRange, std::move(words));
+    }
+
+    entry->lruStamp = ++lruClock;
+    if (txn.directSupplied) {
+        // 3-hop: the probed owner already sent DATA to the requester;
+        // only the bookkeeping above was still needed.
+        occupy(cfg.l2Latency);
+    } else {
+        sendMsg(std::move(data), occupy(cfg.l2Latency));
+    }
+    if (txn.unblocked) {
+        // The requester's UNBLOCK beat the final probe response
+        // (possible in 3-hop mode: the requester is served directly).
+        active.erase(it);
+        drainQueue(region);
+        return;
+    }
+    txn.waitingUnblock = true;
+}
+
+void
+DirController::handlePut(const CoherenceMsg &msg)
+{
+    occupy(cfg.l2Latency);
+    L2Entry *entry = lookup(msg.region);
+    const bool tracked =
+        entry && (entry->readers.test(msg.sender) ||
+                  entry->writers.test(msg.sender));
+
+    if (tracked) {
+        patchSegments(*entry, msg.data);
+        if (msg.last) {
+            clearReader(*entry, msg.sender);
+            clearWriter(*entry, msg.sender);
+        } else if (msg.demoteOwner) {
+            clearWriter(*entry, msg.sender);
+            setReader(*entry, msg.sender);
+        }
+        entry->lruStamp = ++lruClock;
+    }
+    // Untracked PUTs are stale (their data was already collected by a
+    // forwarded probe answered from the writeback buffer): drop data.
+
+    CoherenceMsg ack;
+    ack.type = MsgType::WB_ACK;
+    ack.dstNode = msg.sender;
+    ack.region = msg.region;
+    sendMsg(std::move(ack), occupy(0));
+}
+
+void
+DirController::finishTxn(Addr region)
+{
+    auto it = active.find(region);
+    PROTO_ASSERT(it != active.end(), "UNBLOCK without txn");
+    occupy(cfg.l2Latency);
+    if (!it->second.waitingUnblock) {
+        // 3-hop: the directly-served requester can UNBLOCK before the
+        // directory has collected the final probe response; remember
+        // it and finish in respond().
+        PROTO_ASSERT(cfg.threeHop, "early UNBLOCK without 3-hop mode");
+        it->second.unblocked = true;
+        return;
+    }
+    active.erase(it);
+    drainQueue(region);
+}
+
+void
+DirController::drainQueue(Addr region)
+{
+    auto it = waiting.find(region);
+    if (it == waiting.end())
+        return;
+    while (!it->second.empty() &&
+           active.find(region) == active.end()) {
+        CoherenceMsg msg = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) {
+            waiting.erase(it);
+            dispatch(msg);
+            return;
+        }
+        dispatch(msg);
+        it = waiting.find(region);
+        if (it == waiting.end())
+            return;
+    }
+    if (it != waiting.end() && it->second.empty())
+        waiting.erase(it);
+}
+
+} // namespace protozoa

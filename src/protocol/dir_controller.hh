@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Shared-L2 tile with in-cache directory: the home node of the
+ * Protozoa protocol family.
+ *
+ * Each tile owns an address-interleaved slice of an inclusive shared
+ * L2. The directory entry is collocated with the L2 block and tracks
+ * sharers at REGION granularity only (Table 2): a reader set and a
+ * writer set of cores, with no per-word information — exactly the
+ * paper's "same in-cache fixed-granularity directory structure as
+ * MESI", where Protozoa-MW doubles the entry to separate readers from
+ * writers and Protozoa-SW+MR adds only the single-writer identity.
+ *
+ * One coherence transaction is active per region at a time; later
+ * requests queue (the paper's per-REGION serialization). The protocol
+ * variant decides only (a) the probe range (full region for MESI/SW,
+ * the request range for SW+MR/MW), (b) the keepNonOverlap and
+ * revokeWritePerm probe flags, and (c) how many concurrent writers the
+ * writer set may hold.
+ */
+
+#ifndef PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH
+#define PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "mem/golden_memory.hh"
+#include "protocol/bloom_directory.hh"
+#include "protocol/coherence_msg.hh"
+#include "protocol/router.hh"
+
+namespace protozoa {
+
+/** A set of cores, stored as a bitmask (up to 64 cores). */
+class CoreSet
+{
+  public:
+    bool test(CoreId c) const { return bits & (std::uint64_t(1) << c); }
+    void set(CoreId c) { bits |= std::uint64_t(1) << c; }
+    void reset(CoreId c) { bits &= ~(std::uint64_t(1) << c); }
+    bool none() const { return bits == 0; }
+    bool any() const { return bits != 0; }
+    unsigned count() const;
+    /** True when the set is exactly { @p c }. */
+    bool only(CoreId c) const { return bits == (std::uint64_t(1) << c); }
+
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        std::uint64_t rest = bits;
+        while (rest) {
+            const int c = __builtin_ctzll(rest);
+            rest &= rest - 1;
+            fn(static_cast<CoreId>(c));
+        }
+    }
+
+    std::uint64_t raw() const { return bits; }
+
+    static CoreSet
+    fromRaw(std::uint64_t mask)
+    {
+        CoreSet out;
+        out.bits = mask;
+        return out;
+    }
+
+    /** Set difference: members of this set not in @p o. */
+    CoreSet
+    minus(const CoreSet &o) const
+    {
+        return fromRaw(bits & ~o.bits);
+    }
+
+  private:
+    std::uint64_t bits = 0;
+};
+
+class DirController
+{
+  public:
+    DirController(TileId id, const SystemConfig &cfg, EventQueue &eq,
+                  Router &router, WordStore &mem_image);
+
+    /** Deliver a coherence message from the interconnect. */
+    void receive(const CoherenceMsg &msg);
+
+    TileId id() const { return tileId; }
+
+    /** True when no transaction is active and no request is queued. */
+    bool idle() const { return active.empty() && waiting.empty(); }
+
+    DirStats stats;
+
+    /** Directory view of a region, for invariant checkers and tests. */
+    struct DirView
+    {
+        bool present = false;
+        CoreSet readers;
+        CoreSet writers;
+        bool dirty = false;
+    };
+    DirView view(Addr region);
+
+  private:
+    /** One L2 block + directory entry. */
+    struct L2Entry
+    {
+        bool valid = false;
+        /** Data words are being fetched from memory. */
+        bool filling = false;
+        bool dirty = false;
+        Addr region = 0;
+        std::uint64_t lruStamp = 0;
+        CoreSet readers;
+        CoreSet writers;
+        std::vector<std::uint64_t> words;
+    };
+
+    /** An in-flight transaction (request or inclusive-eviction recall). */
+    struct Txn
+    {
+        enum class Kind { Request, Recall };
+        Kind kind = Kind::Request;
+        MsgType reqType = MsgType::GETS;
+        CoreId requester = 0;
+        WordRange reqRange;
+        bool upgrade = false;
+        unsigned pending = 0;
+        bool waitingUnblock = false;
+        /** A probed owner sent DATA directly to the requester. */
+        bool directSupplied = false;
+        /** The requester's UNBLOCK arrived before respond() ran. */
+        bool unblocked = false;
+        /** Recall only: the region whose miss triggered the recall. */
+        Addr parentRegion = 0;
+    };
+
+    Cycle occupy(Cycle latency);
+    void sendMsg(CoherenceMsg msg, Cycle when);
+
+    unsigned setIndexOf(Addr region) const;
+    L2Entry *lookup(Addr region);
+    /** True when a region has an active txn or queued messages. */
+    bool busy(Addr region) const;
+
+    void dispatch(const CoherenceMsg &msg);
+    void startRequest(const CoherenceMsg &msg);
+    void beginRecall(Addr victim, Addr parent);
+    void finishRecall(Addr victim);
+    void fetchFromMemory(Addr region);
+    void probePhase(Addr region);
+    void handleProbeResponse(const CoherenceMsg &msg);
+    void respond(Addr region);
+    void handlePut(const CoherenceMsg &msg);
+    void finishTxn(Addr region);
+    void drainQueue(Addr region);
+
+    void patchSegments(L2Entry &entry,
+                       const std::vector<DataSegment> &segs);
+    void updateSetsFromResponse(L2Entry &entry, const CoherenceMsg &msg);
+    void recordOwnedCensus(const L2Entry &entry);
+
+    // Sharer-set transitions: every mutation goes through these so an
+    // imprecise (Bloom) summary stays a superset of the exact sets.
+    void setReader(L2Entry &entry, CoreId core);
+    void clearReader(L2Entry &entry, CoreId core);
+    void setWriter(L2Entry &entry, CoreId core);
+    void clearWriter(L2Entry &entry, CoreId core);
+    /** Drop every tracked sharer of @p entry (slot reuse). */
+    void clearAllSharers(L2Entry &entry);
+    /** Probe-target sets: exact, or the Bloom superset. */
+    CoreSet probeWriters(const L2Entry &entry) const;
+    CoreSet probeReaders(const L2Entry &entry) const;
+
+    const SystemConfig &cfg;
+    TileId tileId;
+    EventQueue &eventq;
+    Router &router;
+    WordStore &memImage;
+
+    unsigned setsPerTile;
+    std::vector<std::vector<L2Entry>> sets;
+
+    std::unordered_map<Addr, Txn> active;
+    std::unordered_map<Addr, std::deque<CoherenceMsg>> waiting;
+
+    /** TaglessBloom mode: Bloom-summarized sharer tracking. */
+    std::unique_ptr<CountingBloomSharers> bloomReaders;
+    std::unique_ptr<CountingBloomSharers> bloomWriters;
+
+    std::uint64_t lruClock = 0;
+    Cycle busyUntil = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH

@@ -1,0 +1,564 @@
+#include "protocol/l1_controller.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace protozoa {
+
+L1Controller::L1Controller(CoreId id, const SystemConfig &config,
+                           EventQueue &eq, Router &rt, GoldenMemory *gm)
+    : cfg(config), coreId(id), eventq(eq), router(rt), golden(gm),
+      cache(config), predictor(makePredictor(config)), mshrs(1)
+{
+}
+
+Cycle
+L1Controller::occupy(Cycle latency)
+{
+    const Cycle start = std::max(eventq.now(), busyUntil);
+    busyUntil = start + latency;
+    return busyUntil;
+}
+
+unsigned
+L1Controller::homeTile(Addr region) const
+{
+    return static_cast<unsigned>(
+        (region / cfg.regionBytes) % cfg.l2Tiles);
+}
+
+void
+L1Controller::countCtrl(const CoherenceMsg &msg)
+{
+    stats.ctrlBytes[static_cast<unsigned>(msg.ctrlClass())] +=
+        cfg.controlBytes;
+}
+
+void
+L1Controller::countOutgoingData(const WordRange &range, WordMask touched)
+{
+    const unsigned used = static_cast<unsigned>(
+        std::popcount(touched & range.mask()));
+    stats.usedDataBytes +=
+        static_cast<std::uint64_t>(used) * kWordBytes;
+    stats.unusedDataBytes +=
+        static_cast<std::uint64_t>(range.words() - used) * kWordBytes;
+}
+
+void
+L1Controller::classifyDeath(const AmoebaBlock &blk)
+{
+    const unsigned used = blk.touchedWords();
+    stats.usedDataBytes += static_cast<std::uint64_t>(used) * kWordBytes;
+    stats.unusedDataBytes +=
+        static_cast<std::uint64_t>(blk.untouchedWords()) * kWordBytes;
+    predictor->learn(blk.fetchPc, blk.missWord, blk.touched, blk.range);
+}
+
+void
+L1Controller::sendMsg(CoherenceMsg msg, Cycle when, bool count_stats)
+{
+    msg.srcNode = coreId;
+    msg.sender = coreId;
+    dtrace("l1.%u -> %s stillO=%d stillS=%d last=%d demote=%d", coreId,
+           msg.toString().c_str(), msg.stillOwner, msg.stillSharer,
+           msg.last, msg.demoteOwner);
+    if (count_stats)
+        countCtrl(msg);
+    eventq.scheduleAt(when, [this, m = std::move(msg)]() mutable {
+        router.send(std::move(m));
+    });
+}
+
+bool
+L1Controller::tryCollectDirect(Addr region, const WordRange &range,
+                               std::vector<std::uint64_t> &out)
+{
+    if (range.empty())
+        return false;
+    out.assign(range.words(), 0);
+    WordMask covered = 0;
+    for (AmoebaBlock *b : cache.overlapping(region, range)) {
+        const WordRange part = b->range.intersect(range);
+        for (unsigned w = part.start; w <= part.end; ++w)
+            out[w - range.start] = b->wordAt(w);
+        covered |= part.mask();
+    }
+    return covered == range.mask();
+}
+
+void
+L1Controller::sendDirectData(const CoherenceMsg &probe, GrantState grant,
+                             std::vector<std::uint64_t> words, Cycle when)
+{
+    CoherenceMsg data;
+    data.type = MsgType::DATA;
+    data.dstNode = probe.requester;
+    data.dstIsDir = false;
+    data.region = probe.region;
+    data.range = probe.reqFetchRange;
+    data.requester = probe.requester;
+    data.grant = grant;
+    data.data.emplace_back(probe.reqFetchRange, std::move(words));
+    // Peer DATA is accounted at the receiving L1 only, like
+    // directory-sourced DATA.
+    sendMsg(std::move(data), when, /*count_stats=*/false);
+}
+
+void
+L1Controller::requestAccess(const MemAccess &acc, AccessCallback done)
+{
+    const Addr region = regionBase(acc.addr, cfg.regionBytes);
+    const unsigned word = wordIndexIn(acc.addr, cfg.regionBytes);
+
+    if (acc.isWrite)
+        ++stats.stores;
+    else
+        ++stats.loads;
+
+    AmoebaBlock *blk = cache.findCovering(region, word);
+    const bool hit =
+        blk && (!acc.isWrite || blk->state != BlockState::S);
+
+    if (hit) {
+        ++stats.hits;
+        pendingDone = std::move(done);
+        handleHit(blk, acc, word);
+    } else {
+        ++stats.misses;
+        pendingDone = std::move(done);
+        handleMiss(acc, region, word);
+    }
+}
+
+void
+L1Controller::handleHit(AmoebaBlock *blk, const MemAccess &acc,
+                        unsigned word)
+{
+    cache.touchLru(blk);
+    blk->touched |= WordMask(1) << word;
+
+    std::uint64_t value = 0;
+    if (acc.isWrite) {
+        blk->state = BlockState::M;   // silent E->M upgrade included
+        blk->wordAt(word) = acc.storeValue;
+        if (golden)
+            golden->commitStore(acc.addr, acc.storeValue);
+    } else {
+        value = blk->wordAt(word);
+        if (golden && cfg.checkValues)
+            golden->checkLoad(acc.addr, value);
+    }
+
+    const Cycle done_at = occupy(cfg.l1Latency);
+    auto cb = std::move(pendingDone);
+    pendingDone = nullptr;
+    eventq.scheduleAt(done_at, [cb = std::move(cb), value] { cb(value); });
+}
+
+void
+L1Controller::handleMiss(const MemAccess &acc, Addr region, unsigned word)
+{
+    PROTO_ASSERT(!mshrs.full(), "core issued access with MSHR busy");
+
+    const WordRange need(word, word);
+    const unsigned region_words = cfg.regionWords();
+
+    // Upgrade path: a resident S block already holds the word; ask for
+    // permission over exactly that block's range.
+    AmoebaBlock *resident = cache.findCovering(region, word);
+    bool upgrade = false;
+    WordRange pred;
+    if (resident) {
+        PROTO_ASSERT(acc.isWrite && resident->state == BlockState::S,
+                     "miss with covering block that is not an S-write");
+        upgrade = true;
+        pred = resident->range;
+    } else {
+        pred = predictor->predict(acc.pc, word, need, region_words);
+        // Clip the predicted range so it cannot overlap any resident
+        // block of the region (dirty data must never be refetched, and
+        // insertion requires non-overlap).
+        for (AmoebaBlock *b : cache.blocksOfRegion(region))
+            pred = clipAgainst(pred, need, b->range);
+    }
+
+    MshrEntry entry;
+    entry.region = region;
+    entry.need = need;
+    entry.pred = pred;
+    entry.isWrite = acc.isWrite;
+    entry.pc = acc.pc;
+    entry.accessAddr = acc.addr;
+    entry.storeValue = acc.storeValue;
+    entry.issued = eventq.now();
+    entry.upgrade = upgrade;
+    mshrs.alloc(entry);
+
+    CoherenceMsg msg;
+    msg.type = acc.isWrite ? MsgType::GETX : MsgType::GETS;
+    msg.dstNode = homeTile(region);
+    msg.dstIsDir = true;
+    msg.region = region;
+    msg.range = pred;
+    msg.requester = coreId;
+    msg.upgrade = upgrade;
+    sendMsg(std::move(msg), occupy(cfg.l1Latency));
+}
+
+void
+L1Controller::receive(const CoherenceMsg &msg)
+{
+    dtrace("l1.%u <- %s", coreId, msg.toString().c_str());
+    countCtrl(msg);
+    switch (msg.type) {
+      case MsgType::DATA:
+        handleData(msg);
+        break;
+      case MsgType::FWD_GETS:
+        handleFwdGetS(msg);
+        break;
+      case MsgType::FWD_GETX:
+      case MsgType::INV:
+        ++stats.invMsgsReceived;
+        handleInvProbe(msg);
+        break;
+      case MsgType::WB_ACK:
+        wbBuffer.popFront(msg.region);
+        break;
+      default:
+        panic("L1 %u: unexpected message %s", coreId,
+              msg.toString().c_str());
+    }
+}
+
+void
+L1Controller::disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when)
+{
+    // Group per region so that only the final PUT of a region carries
+    // the `last` flag (the directory must not drop the sharer early).
+    for (std::size_t i = 0; i < evicted.size(); ++i) {
+        AmoebaBlock &blk = evicted[i];
+        classifyDeath(blk);
+        if (!blk.dirty())
+            continue;    // clean blocks retire silently
+
+        bool later_same_region = false;
+        for (std::size_t j = i + 1; j < evicted.size(); ++j) {
+            if (evicted[j].region == blk.region) {
+                later_same_region = true;
+                break;
+            }
+        }
+
+        PendingWb wb;
+        wb.seg = DataSegment(blk.range, blk.words);
+        wb.touched = blk.touched;
+        wb.last = !later_same_region && !cache.hasRegion(blk.region);
+        // Only demote when no block confers write permission any more
+        // (an E block could still silently upgrade to M).
+        wb.demoteOwner =
+            !wb.last && !later_same_region &&
+            !cache.hasWritableRegion(blk.region);
+
+        countOutgoingData(blk.range, blk.touched);
+
+        CoherenceMsg put;
+        put.type = MsgType::PUT;
+        put.dstNode = homeTile(blk.region);
+        put.dstIsDir = true;
+        put.region = blk.region;
+        put.range = blk.range;
+        put.data.push_back(wb.seg);
+        put.last = wb.last;
+        put.demoteOwner = wb.demoteOwner;
+
+        wbBuffer.push(blk.region, std::move(wb));
+        sendMsg(std::move(put), when);
+    }
+}
+
+void
+L1Controller::handleData(const CoherenceMsg &msg)
+{
+    MshrEntry *mshr = mshrs.find(msg.region);
+    PROTO_ASSERT(mshr, "DATA without MSHR");
+
+    const Addr region = msg.region;
+    const unsigned word = wordIndexIn(mshr->accessAddr, cfg.regionBytes);
+    const Cycle done_at = occupy(cfg.l1Latency);
+
+    auto unblock = [&] {
+        CoherenceMsg ub;
+        ub.type = MsgType::UNBLOCK;
+        ub.dstNode = homeTile(region);
+        ub.dstIsDir = true;
+        ub.region = region;
+        sendMsg(std::move(ub), done_at);
+    };
+
+    auto complete = [&](std::uint64_t value) {
+        auto cb = std::move(pendingDone);
+        pendingDone = nullptr;
+        mshrs.free(region);
+        eventq.scheduleAt(done_at,
+                          [cb = std::move(cb), value] { cb(value); });
+    };
+
+    if (msg.data.empty()) {
+        // Payload-free upgrade grant.
+        PROTO_ASSERT(mshr->upgrade && msg.grant == GrantState::M,
+                     "empty DATA outside the upgrade path");
+        AmoebaBlock *blk = cache.findCovering(region, word);
+        if (!blk || blk->state != BlockState::S) {
+            // The block was invalidated while the upgrade was in
+            // flight (Sec. 3.3 race): complete this transaction and
+            // retry as a full GETX.
+            PROTO_ASSERT(mshr->upgradeBroken || !blk,
+                         "upgrade target mutated unexpectedly");
+            unblock();
+            mshr->upgrade = false;
+            mshr->upgradeBroken = false;
+            mshr->pred = predictor->predict(
+                mshr->pc, word, mshr->need, cfg.regionWords());
+            for (AmoebaBlock *b : cache.blocksOfRegion(region))
+                mshr->pred = clipAgainst(mshr->pred, mshr->need, b->range);
+
+            CoherenceMsg retry;
+            retry.type = MsgType::GETX;
+            retry.dstNode = homeTile(region);
+            retry.dstIsDir = true;
+            retry.region = region;
+            retry.range = mshr->pred;
+            retry.requester = coreId;
+            sendMsg(std::move(retry), done_at);
+            return;
+        }
+        // Promote the resident block in place.
+        blk->state = BlockState::M;
+        blk->touched |= WordMask(1) << word;
+        blk->wordAt(word) = mshr->storeValue;
+        cache.touchLru(blk);
+        if (golden)
+            golden->commitStore(mshr->accessAddr, mshr->storeValue);
+        unblock();
+        complete(0);
+        return;
+    }
+
+    PROTO_ASSERT(msg.data.size() == 1, "DATA with multiple segments");
+    const DataSegment &seg = msg.data.front();
+    PROTO_ASSERT(seg.range == msg.range && seg.range.covers(mshr->need),
+                 "DATA range mismatch");
+
+    // Drop resident clean blocks the fill overlaps (the upgrade victim
+    // or remnants); dirty overlap is impossible by construction.
+    for (AmoebaBlock *b : cache.overlapping(region, seg.range)) {
+        PROTO_ASSERT(!b->dirty(), "fill overlaps dirty block");
+        classifyDeath(*b);
+        cache.removeExact(region, b->range);
+    }
+
+    // Make room first, but dispose of the victims only after the fill
+    // is resident: a PUT's last/demote flags must account for the
+    // incoming block when a victim belongs to the same region.
+    std::vector<AmoebaBlock> evicted = cache.makeRoom(region, seg.range);
+
+    AmoebaBlock blk;
+    blk.region = region;
+    blk.range = seg.range;
+    blk.fetchPc = mshr->pc;
+    blk.missWord = static_cast<std::uint8_t>(word);
+    blk.words = seg.words;
+    blk.touched = WordMask(1) << word;
+
+    std::uint64_t value = 0;
+    if (mshr->isWrite) {
+        PROTO_ASSERT(msg.grant == GrantState::M, "GETX granted non-M");
+        blk.state = BlockState::M;
+        blk.wordAt(word) = mshr->storeValue;
+        if (golden)
+            golden->commitStore(mshr->accessAddr, mshr->storeValue);
+    } else {
+        PROTO_ASSERT(msg.grant != GrantState::M, "GETS granted M");
+        blk.state = msg.grant == GrantState::E ? BlockState::E
+                                               : BlockState::S;
+        value = blk.wordAt(word);
+        if (golden && cfg.checkValues)
+            golden->checkLoad(mshr->accessAddr, value);
+    }
+
+    ++stats.blockSizeHist[std::min<unsigned>(seg.range.words(),
+                                             kMaxRegionWords)];
+    cache.insert(std::move(blk));
+    disposeEvicted(std::move(evicted), done_at);
+    unblock();
+    complete(value);
+}
+
+void
+L1Controller::handleFwdGetS(const CoherenceMsg &msg)
+{
+    const Addr region = msg.region;
+    std::vector<DataSegment> segments;
+    unsigned processed = 0;
+
+    std::vector<std::uint64_t> direct_words;
+    const bool direct = msg.tryDirect &&
+        tryCollectDirect(region, msg.reqFetchRange, direct_words);
+
+    for (AmoebaBlock *b : cache.overlapping(region, msg.range)) {
+        ++processed;
+        if (b->dirty()) {
+            segments.emplace_back(b->range, b->words);
+            countOutgoingData(b->range, b->touched);
+            b->state = BlockState::S;
+        } else if (b->state == BlockState::E) {
+            b->state = BlockState::S;
+        }
+    }
+
+    for (const PendingWb &wb :
+         wbBuffer.overlappingSegments(region, msg.range)) {
+        segments.push_back(wb.seg);
+        countOutgoingData(wb.seg.range, wb.touched);
+        ++processed;
+    }
+
+    // An E/M block that survives keeps silent-write permission, so the
+    // directory must keep tracking this core as a writer.
+    bool still_owner = false;
+    bool still_sharer = false;
+    for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+        still_sharer = true;
+        if (b->state != BlockState::S)
+            still_owner = true;
+    }
+
+    CoherenceMsg resp;
+    if (!segments.empty())
+        resp.type = MsgType::WB_RESP;
+    else if (still_sharer)
+        resp.type = MsgType::ACK_S;
+    else
+        resp.type = MsgType::NACK;
+    resp.dstNode = homeTile(region);
+    resp.dstIsDir = true;
+    resp.region = region;
+    resp.range = msg.range;
+    resp.requester = msg.requester;
+    resp.data = std::move(segments);
+    resp.stillOwner = still_owner;
+    resp.stillSharer = still_sharer;
+    resp.suppliedDirect = direct;
+
+    const Cycle when =
+        occupy(cfg.l1Latency + cfg.l1GatherPerBlock * processed);
+    if (direct)
+        sendDirectData(msg, GrantState::S, std::move(direct_words),
+                       when);
+    sendMsg(std::move(resp), when);
+}
+
+void
+L1Controller::handleInvProbe(const CoherenceMsg &msg)
+{
+    const Addr region = msg.region;
+    std::vector<DataSegment> segments;
+    unsigned processed = 0;
+    bool removed_any = false;
+
+    std::vector<std::uint64_t> direct_words;
+    const bool direct = msg.tryDirect &&
+        tryCollectDirect(region, msg.reqFetchRange, direct_words);
+
+    PROTO_ASSERT(msg.keepNonOverlap ||
+                 msg.range == WordRange::full(cfg.regionWords()),
+                 "region-granularity probe with partial range");
+
+    // CHECK + GATHER: overlapping blocks are written back (if dirty)
+    // and invalidated whole, even on partial overlap (Sec. 3.2).
+    std::vector<WordRange> doomed;
+    for (AmoebaBlock *b : cache.overlapping(region, msg.range))
+        doomed.push_back(b->range);
+    for (const WordRange &r : doomed) {
+        AmoebaBlock blk = cache.removeExact(region, r);
+        ++processed;
+        removed_any = true;
+        ++stats.blocksInvalidated;
+        if (blk.dirty()) {
+            segments.emplace_back(blk.range, blk.words);
+            countOutgoingData(blk.range, blk.touched);
+        }
+        classifyDeath(blk);
+
+        // A racing upgrade loses its target block (Sec. 3.3 races).
+        MshrEntry *mshr = mshrs.find(region);
+        if (mshr && mshr->upgrade && r.contains(mshr->need.start))
+            mshr->upgradeBroken = true;
+    }
+
+    // Protozoa-SW+MR: the single-writer slot is being reassigned, so
+    // surviving non-overlapping blocks lose write permission.
+    if (msg.revokeWritePerm) {
+        for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+            if (b->dirty()) {
+                segments.emplace_back(b->range, b->words);
+                countOutgoingData(b->range, b->touched);
+                ++processed;
+            }
+            b->state = BlockState::S;
+        }
+    }
+
+    for (const PendingWb &wb :
+         wbBuffer.overlappingSegments(region, msg.range)) {
+        segments.push_back(wb.seg);
+        countOutgoingData(wb.seg.range, wb.touched);
+        ++processed;
+    }
+
+    bool still_owner = false;
+    bool still_sharer = false;
+    for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+        still_sharer = true;
+        if (b->state != BlockState::S)
+            still_owner = true;
+    }
+
+    CoherenceMsg resp;
+    if (!segments.empty())
+        resp.type = MsgType::WB_RESP;
+    else if (still_sharer)
+        resp.type = MsgType::ACK_S;
+    else if (removed_any)
+        resp.type = MsgType::ACK;
+    else
+        resp.type = MsgType::NACK;
+    resp.dstNode = homeTile(region);
+    resp.dstIsDir = true;
+    resp.region = region;
+    resp.range = msg.range;
+    resp.requester = msg.requester;
+    resp.data = std::move(segments);
+    resp.stillOwner = still_owner;
+    resp.stillSharer = still_sharer;
+    resp.suppliedDirect = direct;
+
+    const Cycle when =
+        occupy(cfg.l1Latency + cfg.l1GatherPerBlock * processed);
+    if (direct)
+        sendDirectData(msg, GrantState::M, std::move(direct_words),
+                       when);
+    sendMsg(std::move(resp), when);
+}
+
+void
+L1Controller::finalizeStats()
+{
+    cache.forEach([this](const AmoebaBlock &blk) { classifyDeath(blk); });
+}
+
+} // namespace protozoa

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Private L1 cache controller for the Protozoa protocol family.
+ *
+ * Implements the L1 side of Fig. 8: stable states I/S/E/M per Amoeba
+ * block, transient IS/IM (tracked in the MSHR), and the multi-block
+ * CHECK / GATHER / WRITEBACK snoop sequence of Fig. 3 (modelled as
+ * extra occupancy per gathered block, the CPU_B/COH_B blocking states).
+ *
+ * Protocol-variant behaviour is *not* encoded here: the directory
+ * expresses it entirely through the probe range and the
+ * keepNonOverlap / revokeWritePerm flags, so one L1 implementation
+ * serves MESI, Protozoa-SW, Protozoa-SW+MR and Protozoa-MW.
+ */
+
+#ifndef PROTOZOA_PROTOCOL_L1_CONTROLLER_HH
+#define PROTOZOA_PROTOCOL_L1_CONTROLLER_HH
+
+#include <functional>
+#include <memory>
+
+#include "cache/amoeba_cache.hh"
+#include "cache/mshr.hh"
+#include "cache/spatial_predictor.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "mem/golden_memory.hh"
+#include "protocol/coherence_msg.hh"
+#include "protocol/router.hh"
+
+namespace protozoa {
+
+/** One core-issued memory access (always within a single word). */
+struct MemAccess
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    Pc pc = 0;
+    /** Value to store (writes only). */
+    std::uint64_t storeValue = 0;
+};
+
+class L1Controller
+{
+  public:
+    /** Completion callback; carries the loaded value (0 for stores). */
+    using AccessCallback = std::function<void(std::uint64_t)>;
+
+    L1Controller(CoreId id, const SystemConfig &cfg, EventQueue &eq,
+                 Router &router, GoldenMemory *golden);
+
+    /**
+     * Issue a memory access. The in-order core model guarantees at
+     * most one outstanding access per L1.
+     */
+    void requestAccess(const MemAccess &acc, AccessCallback done);
+
+    /** Deliver a coherence message from the interconnect. */
+    void receive(const CoherenceMsg &msg);
+
+    /** Classify still-resident blocks into the used/unused totals. */
+    void finalizeStats();
+
+    CoreId id() const { return coreId; }
+    bool hasOutstandingMiss() const { return mshrs.size() > 0; }
+
+    L1Stats stats;
+
+    // --- white-box access for tests ---
+    AmoebaCache &cacheStorage() { return cache; }
+    SpatialPredictor &predictorPolicy() { return *predictor; }
+    const WbBuffer &writebackBuffer() const { return wbBuffer; }
+
+  private:
+    /** Reserve the controller for @p latency cycles; returns finish. */
+    Cycle occupy(Cycle latency);
+
+    /**
+     * Fill in source fields and transmit at @p when.
+     * @param count_stats when false the sender does not account the
+     *        message (peer-to-peer DATA is accounted at the receiver
+     *        only, keeping L1 totals equal to mesh totals).
+     */
+    void sendMsg(CoherenceMsg msg, Cycle when, bool count_stats = true);
+
+    /**
+     * 3-hop attempt: gather the words of @p range from the resident
+     * blocks of @p region (before any invalidation).
+     * @return true and fills @p out when fully covered.
+     */
+    bool tryCollectDirect(Addr region, const WordRange &range,
+                          std::vector<std::uint64_t> &out);
+
+    /** Send a peer-to-peer DATA for a successful 3-hop forward. */
+    void sendDirectData(const CoherenceMsg &probe, GrantState grant,
+                        std::vector<std::uint64_t> words, Cycle when);
+
+    /** Count the control/header bytes of a message (both directions). */
+    void countCtrl(const CoherenceMsg &msg);
+
+    /** Count outgoing data words as used/unused by their touched bits. */
+    void countOutgoingData(const WordRange &range, WordMask touched);
+
+    /**
+     * Account a dying block (incoming-direction used/unused bytes) and
+     * train the predictor from its touched bitmap.
+     */
+    void classifyDeath(const AmoebaBlock &blk);
+
+    /** Home directory tile of @p region. */
+    unsigned homeTile(Addr region) const;
+
+    void handleHit(AmoebaBlock *blk, const MemAccess &acc, unsigned word);
+    void handleMiss(const MemAccess &acc, Addr region, unsigned word);
+    void handleData(const CoherenceMsg &msg);
+    void handleFwdGetS(const CoherenceMsg &msg);
+    void handleInvProbe(const CoherenceMsg &msg);
+
+    /** Evicted-block disposal: silent drop or PUT via the WB buffer. */
+    void disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when);
+
+    const SystemConfig &cfg;
+    CoreId coreId;
+    EventQueue &eventq;
+    Router &router;
+    GoldenMemory *golden;
+
+    AmoebaCache cache;
+    std::unique_ptr<SpatialPredictor> predictor;
+    MshrFile mshrs;
+    WbBuffer wbBuffer;
+
+    /** Completion callback of the single outstanding core access. */
+    AccessCallback pendingDone;
+
+    Cycle busyUntil = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_PROTOCOL_L1_CONTROLLER_HH

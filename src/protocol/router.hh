@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Router: the interface controllers use to inject messages into the
+ * interconnect. The System implements it on top of the Mesh, routing
+ * to the L1 or directory plane of the destination node.
+ */
+
+#ifndef PROTOZOA_PROTOCOL_ROUTER_HH
+#define PROTOZOA_PROTOCOL_ROUTER_HH
+
+#include "protocol/coherence_msg.hh"
+
+namespace protozoa {
+
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /** Deliver @p msg to msg.dstNode (L1 or directory plane). */
+    virtual void send(CoherenceMsg msg) = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_PROTOCOL_ROUTER_HH

@@ -1,0 +1,36 @@
+#include "protozoa/protozoa.hh"
+
+#include <cstdlib>
+
+namespace protozoa {
+
+RunStats
+runBenchmark(const SystemConfig &cfg, const std::string &name,
+             double scale)
+{
+    const BenchSpec &spec = findBenchmark(name);
+    System sys(cfg, spec.gen(cfg, scale));
+    sys.run();
+    return sys.report();
+}
+
+RunStats
+runWorkload(const SystemConfig &cfg, Workload workload)
+{
+    System sys(cfg, std::move(workload));
+    sys.run();
+    return sys.report();
+}
+
+double
+envScale(double fallback)
+{
+    if (const char *env = std::getenv("PROTOZOA_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+} // namespace protozoa

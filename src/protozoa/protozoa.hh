@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Public API facade of the Protozoa reproduction library.
+ *
+ * A downstream user needs three things: a SystemConfig describing the
+ * machine and protocol, a workload (a named paper benchmark or custom
+ * traces), and the resulting RunStats. Everything else (controllers,
+ * mesh, storage) is reachable through System for white-box work.
+ *
+ * Quick start:
+ * @code
+ *   protozoa::SystemConfig cfg;
+ *   cfg.protocol = protozoa::ProtocolKind::ProtozoaMW;
+ *   auto stats = protozoa::runBenchmark(cfg, "linear-regression");
+ *   std::cout << stats.mpki() << "\n";
+ * @endcode
+ */
+
+#ifndef PROTOZOA_PROTOZOA_PROTOZOA_HH
+#define PROTOZOA_PROTOZOA_PROTOZOA_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "sim/random_tester.hh"
+#include "sim/stats_report.hh"
+#include "sim/system.hh"
+#include "workload/archetypes.hh"
+#include "workload/benchmarks.hh"
+#include "workload/trace.hh"
+
+namespace protozoa {
+
+/**
+ * Run one of the paper's 28 benchmark profiles to completion.
+ *
+ * @param cfg   machine + protocol configuration (Table 4 defaults).
+ * @param name  benchmark name, e.g. "linear-regression".
+ * @param scale multiplies the workload's reference counts.
+ */
+RunStats runBenchmark(const SystemConfig &cfg, const std::string &name,
+                      double scale = 1.0);
+
+/** Run a custom workload (one TraceSource per core). */
+RunStats runWorkload(const SystemConfig &cfg, Workload workload);
+
+/** Workload scale from the PROTOZOA_SCALE environment variable. */
+double envScale(double fallback = 1.0);
+
+} // namespace protozoa
+
+#endif // PROTOZOA_PROTOZOA_PROTOZOA_HH

@@ -1,0 +1,46 @@
+#include "sim/core_model.hh"
+
+namespace protozoa {
+
+CoreModel::CoreModel(CoreId id, EventQueue &eq, L1Controller &l1c,
+                     TraceSource &tr, std::function<void(CoreId)> cb)
+    : coreId(id), eventq(eq), l1(l1c), trace(tr), onDone(std::move(cb))
+{
+}
+
+void
+CoreModel::start()
+{
+    eventq.schedule(0, [this] { step(); });
+}
+
+void
+CoreModel::step()
+{
+    TraceRecord rec;
+    if (!trace.next(rec)) {
+        finished = true;
+        finishedAt = eventq.now();
+        if (onDone)
+            onDone(coreId);
+        return;
+    }
+
+    instrCount += rec.gapInstrs + 1;
+
+    MemAccess acc;
+    acc.addr = rec.addr;
+    acc.isWrite = rec.isWrite;
+    acc.pc = rec.pc;
+    if (rec.isWrite) {
+        // Unique store value: (core, sequence) tagged for the checker.
+        acc.storeValue =
+            (static_cast<std::uint64_t>(coreId) << 48) | ++storeSeq;
+    }
+
+    eventq.schedule(rec.gapInstrs, [this, acc] {
+        l1.requestAccess(acc, [this](std::uint64_t) { step(); });
+    });
+}
+
+} // namespace protozoa

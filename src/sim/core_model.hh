@@ -1,0 +1,54 @@
+/**
+ * @file
+ * In-order core model (Table 4: 16-way, 3 GHz, in order).
+ *
+ * Retires one non-memory instruction per cycle and blocks on every
+ * memory reference until the L1 completes it. Store values are unique
+ * per (core, store-sequence) so the golden-memory checker can detect
+ * any stale or misrouted data.
+ */
+
+#ifndef PROTOZOA_SIM_CORE_MODEL_HH
+#define PROTOZOA_SIM_CORE_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "protocol/l1_controller.hh"
+#include "workload/trace.hh"
+
+namespace protozoa {
+
+class CoreModel
+{
+  public:
+    CoreModel(CoreId id, EventQueue &eq, L1Controller &l1,
+              TraceSource &trace, std::function<void(CoreId)> on_done);
+
+    /** Begin executing the trace. */
+    void start();
+
+    bool done() const { return finished; }
+    std::uint64_t instructions() const { return instrCount; }
+    Cycle finishCycle() const { return finishedAt; }
+
+  private:
+    void step();
+
+    CoreId coreId;
+    EventQueue &eventq;
+    L1Controller &l1;
+    TraceSource &trace;
+    std::function<void(CoreId)> onDone;
+
+    std::uint64_t instrCount = 0;
+    std::uint64_t storeSeq = 0;
+    bool finished = false;
+    Cycle finishedAt = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_SIM_CORE_MODEL_HH

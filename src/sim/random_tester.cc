@@ -1,0 +1,61 @@
+#include "sim/random_tester.hh"
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+#include "workload/trace.hh"
+
+namespace protozoa {
+
+RandomTester::Result
+RandomTester::run(const Params &params)
+{
+    SystemConfig cfg;
+    cfg.protocol = params.protocol;
+    cfg.predictor = params.predictor;
+    cfg.seed = params.seed;
+    cfg.checkValues = true;
+    cfg.l1Sets = params.l1Sets;
+    cfg.l2BytesPerTile = params.l2BytesPerTile;
+
+    Rng rng(params.seed * 0x5851f42d4c957f2dULL + 7);
+    const Addr base = 0x40000000;
+    const unsigned region_words = cfg.regionWords();
+
+    Workload wl;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        std::vector<TraceRecord> recs;
+        recs.reserve(params.accessesPerCore);
+        for (std::uint64_t i = 0; i < params.accessesPerCore; ++i) {
+            const bool cold = rng.chance(params.coldFraction);
+            const Addr area = cold ? base + 0x10000000 : base;
+            const std::uint64_t region = rng.below(
+                cold ? params.coldRegions : params.regions);
+            const unsigned word =
+                static_cast<unsigned>(rng.below(region_words));
+            TraceRecord rec;
+            rec.addr = area + region * cfg.regionBytes +
+                       static_cast<Addr>(word) * kWordBytes;
+            // A small PC pool exercises predictor training/aliasing.
+            rec.pc = 0x1000 + 4 * rng.below(16);
+            rec.isWrite = rng.chance(params.writeFraction);
+            rec.gapInstrs = static_cast<std::uint16_t>(rng.range(1, 4));
+            recs.push_back(rec);
+        }
+        wl.push_back(std::make_unique<VectorTrace>(std::move(recs)));
+    }
+
+    System sys(cfg, std::move(wl));
+    if (params.checkPeriod > 0)
+        sys.enablePeriodicInvariantCheck(params.checkPeriod);
+    sys.run();
+
+    Result res;
+    res.valueViolations = sys.valueViolations();
+    res.invariantViolations = sys.invariantViolations();
+    if (auto err = sys.checkCoherenceInvariant())
+        ++res.invariantViolations;
+    res.stats = sys.report();
+    return res;
+}
+
+} // namespace protozoa

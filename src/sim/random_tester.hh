@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Random protocol tester (Sec. 3.6: "we have tested protozoa
+ * extensively with the random tester (1 million accesses)").
+ *
+ * Drives all cores with random reads/writes over a small, hot region
+ * pool to maximize protocol race coverage, while
+ *  - the golden-memory oracle checks every load value, and
+ *  - the System invariant checker scans for SWMR violations
+ *    periodically.
+ */
+
+#ifndef PROTOZOA_SIM_RANDOM_TESTER_HH
+#define PROTOZOA_SIM_RANDOM_TESTER_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace protozoa {
+
+class RandomTester
+{
+  public:
+    struct Params
+    {
+        ProtocolKind protocol = ProtocolKind::ProtozoaMW;
+        PredictorKind predictor = PredictorKind::PcSpatial;
+        /** Hot pool size, in regions. */
+        unsigned regions = 16;
+        /**
+         * Fraction of accesses aimed at a large cold pool instead of
+         * the hot pool, to force L1 evictions and inclusive-L2
+         * recalls alongside the conflict races.
+         */
+        double coldFraction = 0.1;
+        /** Cold pool size, in regions. */
+        unsigned coldRegions = 4096;
+        std::uint64_t accessesPerCore = 2000;
+        double writeFraction = 0.4;
+        std::uint64_t seed = 1;
+        /** Invariant-scan period in cycles (0 = only at the end). */
+        Cycle checkPeriod = 64;
+        /** Shrink the L1 to force evictions and writeback races. */
+        unsigned l1Sets = 4;
+        /** Shrink the L2 to force inclusive recalls. */
+        std::uint64_t l2BytesPerTile = 4096;
+    };
+
+    struct Result
+    {
+        std::uint64_t valueViolations = 0;
+        std::uint64_t invariantViolations = 0;
+        RunStats stats;
+    };
+
+    static Result run(const Params &params);
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_SIM_RANDOM_TESTER_HH

@@ -1,0 +1,58 @@
+#include "sim/stats_report.hh"
+
+#include <cmath>
+
+namespace protozoa {
+
+TrafficBreakdown
+trafficBreakdown(const RunStats &stats)
+{
+    TrafficBreakdown out;
+    out.control = static_cast<double>(stats.l1.ctrlBytesTotal());
+    out.usedData = static_cast<double>(stats.l1.usedDataBytes);
+    out.unusedData = static_cast<double>(stats.l1.unusedDataBytes);
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v > 1e-12 ? v : 1e-12);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::string
+trendArrow(double before, double after)
+{
+    if (before <= 1e-12)
+        return after <= 1e-12 ? "=" : "++";
+    const double ratio = after / before;
+    if (ratio > 1.50)
+        return "^^^";      // paper's double up-arrow (> 50% increase)
+    if (ratio > 1.33)
+        return "^^";       // > 33% increase
+    if (ratio > 1.10)
+        return "^";        // 10-33% increase
+    if (ratio >= 0.90)
+        return "=";        // within 10%
+    if (ratio >= 0.67)
+        return "v";        // 10-33% decrease
+    return "vv";           // > 33% decrease
+}
+
+} // namespace protozoa

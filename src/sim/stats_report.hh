@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Derived metrics and small numeric helpers shared by the experiment
+ * harnesses in bench/.
+ */
+
+#ifndef PROTOZOA_SIM_STATS_REPORT_HH
+#define PROTOZOA_SIM_STATS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace protozoa {
+
+/** Fig. 9 decomposition of L1 traffic, in bytes. */
+struct TrafficBreakdown
+{
+    double control = 0;
+    double usedData = 0;
+    double unusedData = 0;
+
+    double total() const { return control + usedData + unusedData; }
+};
+
+TrafficBreakdown trafficBreakdown(const RunStats &stats);
+
+/** Geometric mean (values must be positive; zeros are clamped). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Trend arrow in the style of Table 1: ≈ ↓ ⇓ ↑ ⇑ ⇑⇑. */
+std::string trendArrow(double before, double after);
+
+} // namespace protozoa
+
+#endif // PROTOZOA_SIM_STATS_REPORT_HH

@@ -1,0 +1,188 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace protozoa {
+
+System::System(const SystemConfig &config, Workload workload)
+    : cfg(config), traces(std::move(workload))
+{
+    // The MESI baseline is the degenerate fixed-granularity case:
+    // whole-region fetches, whole-region coherence.
+    if (cfg.protocol == ProtocolKind::MESI)
+        cfg.predictor = PredictorKind::FullRegion;
+    cfg.validate();
+    PROTO_ASSERT(traces.size() == cfg.numCores,
+                 "workload must supply one trace per core");
+
+    net = std::make_unique<Mesh>(eventq, cfg);
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1s.push_back(std::make_unique<L1Controller>(
+            c, cfg, eventq, *this, &golden));
+    }
+    for (TileId t = 0; t < cfg.l2Tiles; ++t) {
+        dirs.push_back(std::make_unique<DirController>(
+            t, cfg, eventq, *this, memImage));
+    }
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        cores.push_back(std::make_unique<CoreModel>(
+            c, eventq, *l1s[c], *traces[c],
+            [this](CoreId id) { onCoreDone(id); }));
+    }
+}
+
+System::~System() = default;
+
+void
+System::send(CoherenceMsg msg)
+{
+    const unsigned bytes = msg.sizeBytes(cfg.controlBytes);
+    const unsigned src = msg.srcNode;
+    const unsigned dst = msg.dstNode;
+    const bool to_dir = msg.dstIsDir;
+    net->send(src, dst, bytes,
+              [this, to_dir, m = std::move(msg)]() {
+                  if (to_dir)
+                      dirs[m.dstNode]->receive(m);
+                  else
+                      l1s[m.dstNode]->receive(m);
+              });
+}
+
+void
+System::onCoreDone(CoreId)
+{
+    PROTO_ASSERT(coresRunning > 0, "core finished twice");
+    --coresRunning;
+}
+
+void
+System::enablePeriodicInvariantCheck(Cycle period)
+{
+    PROTO_ASSERT(period > 0, "zero check period");
+    checkPeriod = period;
+}
+
+void
+System::run(Cycle max_cycles)
+{
+    coresRunning = cfg.numCores;
+    for (auto &core : cores)
+        core->start();
+
+    if (checkPeriod > 0) {
+        std::function<void()> checker = [this, &checker]() {
+            if (auto err = checkCoherenceInvariant()) {
+                ++invariantErrors;
+                if (firstInvariantError.empty())
+                    firstInvariantError = *err;
+            }
+            if (coresRunning > 0)
+                eventq.schedule(checkPeriod, checker);
+        };
+        eventq.schedule(checkPeriod, checker);
+    }
+
+    eventq.run(max_cycles);
+    PROTO_ASSERT(coresRunning == 0, "event queue drained with live cores");
+
+    if (!finalized) {
+        for (auto &l1c : l1s)
+            l1c->finalizeStats();
+        finalized = true;
+    }
+}
+
+RunStats
+System::report() const
+{
+    RunStats out;
+    for (const auto &l1c : l1s)
+        out.l1.merge(l1c->stats);
+    for (const auto &d : dirs)
+        out.dir.merge(d->stats);
+    out.net.merge(net->netStats());
+    for (const auto &core : cores) {
+        out.instructions += core->instructions();
+        out.cycles = std::max(out.cycles, core->finishCycle());
+    }
+    return out;
+}
+
+std::optional<std::string>
+System::checkCoherenceInvariant()
+{
+    struct Holder
+    {
+        CoreId core;
+        WordRange range;
+        BlockState state;
+    };
+    std::map<Addr, std::vector<Holder>> byRegion;
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1s[c]->cacheStorage().forEach([&](const AmoebaBlock &blk) {
+            byRegion[blk.region].push_back(
+                Holder{c, blk.range, blk.state});
+        });
+    }
+
+    const bool region_granularity =
+        cfg.protocol == ProtocolKind::MESI ||
+        cfg.protocol == ProtocolKind::ProtozoaSW;
+    const bool single_writer =
+        cfg.protocol != ProtocolKind::ProtozoaMW;
+
+    for (const auto &[region, holders] : byRegion) {
+        CoreSet writers;
+        for (const auto &h : holders) {
+            if (h.state != BlockState::S)
+                writers.set(h.core);
+        }
+
+        if (single_writer && writers.count() > 1) {
+            std::ostringstream os;
+            os << "region 0x" << std::hex << region << std::dec
+               << ": " << writers.count()
+               << " concurrent writers under "
+               << protocolName(cfg.protocol);
+            return os.str();
+        }
+
+        for (std::size_t i = 0; i < holders.size(); ++i) {
+            for (std::size_t j = i + 1; j < holders.size(); ++j) {
+                const Holder &a = holders[i];
+                const Holder &b = holders[j];
+                if (a.core == b.core)
+                    continue;
+                const bool writer_involved =
+                    a.state != BlockState::S ||
+                    b.state != BlockState::S;
+                if (!writer_involved)
+                    continue;
+                const bool conflict = region_granularity
+                    ? true
+                    : a.range.overlaps(b.range);
+                if (conflict) {
+                    std::ostringstream os;
+                    os << "region 0x" << std::hex << region << std::dec
+                       << ": core " << a.core << " "
+                       << blockStateName(a.state) << a.range.toString()
+                       << " vs core " << b.core << " "
+                       << blockStateName(b.state) << b.range.toString()
+                       << " violates SWMR under "
+                       << protocolName(cfg.protocol);
+                    return os.str();
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace protozoa

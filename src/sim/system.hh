@@ -1,0 +1,101 @@
+/**
+ * @file
+ * System: wires cores, private Amoeba L1s, the mesh, the tiled shared
+ * L2/directory, and the two value stores into a runnable simulation.
+ *
+ * Also hosts the whole-system coherence-invariant checker used by the
+ * random tester and the property tests: at any instant, blocks cached
+ * at different cores must obey the protocol's SWMR contract
+ * (region-granularity for MESI/Protozoa-SW, single-writer for SW+MR,
+ * word-granularity for MW).
+ */
+
+#ifndef PROTOZOA_SIM_SYSTEM_HH
+#define PROTOZOA_SIM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "mem/golden_memory.hh"
+#include "noc/mesh.hh"
+#include "protocol/dir_controller.hh"
+#include "protocol/l1_controller.hh"
+#include "protocol/router.hh"
+#include "sim/core_model.hh"
+#include "workload/trace.hh"
+
+namespace protozoa {
+
+class System : public Router
+{
+  public:
+    System(const SystemConfig &cfg, Workload workload);
+    ~System() override;
+
+    /**
+     * Run the workload to completion.
+     * @param max_cycles deadlock safety net (panics when exceeded).
+     */
+    void run(Cycle max_cycles = 2'000'000'000ULL);
+
+    /** Aggregate statistics (valid after run()). */
+    RunStats report() const;
+
+    /**
+     * Scan all caches and directory entries for violations of the
+     * protocol's sharing invariant. @return a description of the first
+     * violation found, or nullopt when coherent.
+     */
+    std::optional<std::string> checkCoherenceInvariant();
+
+    /** Run the invariant checker every @p period cycles during run(). */
+    void enablePeriodicInvariantCheck(Cycle period);
+
+    /** Invariant violations observed by the periodic checker. */
+    std::uint64_t invariantViolations() const { return invariantErrors; }
+
+    /** Load-value violations flagged by the golden-memory oracle. */
+    std::uint64_t valueViolations() const { return golden.violations(); }
+
+    // Router interface.
+    void send(CoherenceMsg msg) override;
+
+    // White-box accessors for tests and benches.
+    L1Controller &l1(CoreId c) { return *l1s[c]; }
+    DirController &dir(TileId t) { return *dirs[t]; }
+    CoreModel &core(CoreId c) { return *cores[c]; }
+    Mesh &mesh() { return *net; }
+    EventQueue &eventQueue() { return eventq; }
+    GoldenMemory &goldenMemory() { return golden; }
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    void onCoreDone(CoreId c);
+
+    SystemConfig cfg;
+    EventQueue eventq;
+    std::unique_ptr<Mesh> net;
+    GoldenMemory golden;
+    WordStore memImage;
+
+    Workload traces;
+    std::vector<std::unique_ptr<L1Controller>> l1s;
+    std::vector<std::unique_ptr<DirController>> dirs;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+
+    unsigned coresRunning = 0;
+    bool finalized = false;
+
+    Cycle checkPeriod = 0;
+    std::uint64_t invariantErrors = 0;
+    std::string firstInvariantError;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_SIM_SYSTEM_HH

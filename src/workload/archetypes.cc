@@ -1,0 +1,306 @@
+#include "workload/archetypes.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace protozoa {
+
+TraceBuilder::TraceBuilder(unsigned cores, std::uint64_t seed)
+    : perCore(cores), generator(seed)
+{
+}
+
+void
+TraceBuilder::load(unsigned core, Addr addr, Pc pc, unsigned gap)
+{
+    TraceRecord rec;
+    rec.addr = wordAlign(addr);
+    rec.pc = pc;
+    rec.isWrite = false;
+    rec.gapInstrs = static_cast<std::uint16_t>(gap);
+    perCore[core].push_back(rec);
+}
+
+void
+TraceBuilder::store(unsigned core, Addr addr, Pc pc, unsigned gap)
+{
+    TraceRecord rec;
+    rec.addr = wordAlign(addr);
+    rec.pc = pc;
+    rec.isWrite = true;
+    rec.gapInstrs = static_cast<std::uint16_t>(gap);
+    perCore[core].push_back(rec);
+}
+
+Workload
+TraceBuilder::build()
+{
+    Workload out;
+    for (auto &recs : perCore)
+        out.push_back(std::make_unique<VectorTrace>(std::move(recs)));
+    perCore.clear();
+    return out;
+}
+
+namespace {
+
+Addr
+wordAddr(Addr base, std::uint64_t word_index)
+{
+    return base + word_index * kWordBytes;
+}
+
+} // namespace
+
+void
+genPrivateStream(TraceBuilder &tb, unsigned cores, Addr base,
+                 std::uint64_t elems, unsigned record_words,
+                 unsigned touch_words, double write_frac, unsigned gap,
+                 Pc pc_base, unsigned passes)
+{
+    PROTO_ASSERT(touch_words >= 1 && touch_words <= record_words,
+                 "bad stream shape");
+    for (unsigned c = 0; c < cores; ++c) {
+        const Addr my_base =
+            base + static_cast<Addr>(c) * elems * record_words *
+                       kWordBytes;
+        for (unsigned pass = 0; pass < passes; ++pass) {
+            for (std::uint64_t e = 0; e < elems; ++e) {
+                const Addr rec_base =
+                    wordAddr(my_base, e * record_words);
+                const bool write_last = tb.rng().chance(write_frac);
+                for (unsigned w = 0; w < touch_words; ++w) {
+                    const Pc pc = pc_base + 4 * w;
+                    const Addr a = wordAddr(rec_base, w);
+                    if (write_last && w == touch_words - 1)
+                        tb.store(c, a, pc, gap);
+                    else
+                        tb.load(c, a, pc, gap);
+                }
+            }
+        }
+    }
+}
+
+void
+genFalseShareCounters(TraceBuilder &tb, unsigned cores, Addr base,
+                      std::uint64_t iters, unsigned spacing_words,
+                      unsigned gap, Pc pc_base)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        const Addr counter =
+            wordAddr(base, static_cast<std::uint64_t>(c) * spacing_words);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            tb.load(c, counter, pc_base, gap);
+            tb.store(c, counter, pc_base + 4, gap);
+        }
+    }
+}
+
+void
+genHistogram(TraceBuilder &tb, unsigned cores, Addr input_base,
+             Addr bucket_base, std::uint64_t elems, unsigned buckets,
+             double preference, unsigned gap, Pc pc_base)
+{
+    const unsigned window = std::max(1u, buckets / cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        const Addr my_input =
+            input_base + static_cast<Addr>(c) * elems * kWordBytes;
+        for (std::uint64_t e = 0; e < elems; ++e) {
+            tb.load(c, wordAddr(my_input, e), pc_base, gap);
+            unsigned b;
+            if (tb.rng().chance(preference)) {
+                // Core-interleaved buckets: cores update disjoint
+                // words that share regions (pure false sharing).
+                b = c + cores *
+                    static_cast<unsigned>(tb.rng().below(window));
+            } else {
+                b = static_cast<unsigned>(tb.rng().below(buckets));
+            }
+            const Addr bucket = wordAddr(bucket_base, b % buckets);
+            tb.load(c, bucket, pc_base + 4, gap);
+            tb.store(c, bucket, pc_base + 8, gap);
+        }
+    }
+}
+
+void
+genSharedReadOnly(TraceBuilder &tb, unsigned cores, Addr table_base,
+                  std::uint64_t table_words, Addr priv_base,
+                  std::uint64_t accesses, unsigned run_words,
+                  unsigned gap, Pc pc_base)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        const Addr my_acc = priv_base + static_cast<Addr>(c) * 1024;
+        for (std::uint64_t i = 0; i < accesses; ++i) {
+            const std::uint64_t start =
+                tb.rng().below(std::max<std::uint64_t>(
+                    1, table_words - run_words));
+            for (unsigned w = 0; w < run_words; ++w)
+                tb.load(c, wordAddr(table_base, start + w),
+                        pc_base + 4 * w, gap);
+            // Private accumulator update.
+            tb.load(c, my_acc, pc_base + 64, gap);
+            tb.store(c, my_acc, pc_base + 68, gap);
+        }
+    }
+}
+
+void
+genProducerConsumer(TraceBuilder &tb, unsigned cores, Addr base,
+                    unsigned buf_records, unsigned record_words,
+                    unsigned produce_words, unsigned consume_words,
+                    unsigned rounds, unsigned gap, Pc pc_base)
+{
+    PROTO_ASSERT(produce_words <= record_words &&
+                 consume_words <= record_words,
+                 "bad producer/consumer shape");
+    const unsigned buf_words = buf_records * record_words;
+    auto buf_of = [&](unsigned core) {
+        return base + static_cast<Addr>(core) * buf_words * kWordBytes;
+    };
+    for (unsigned c = 0; c < cores; ++c) {
+        const unsigned producer = (c + cores - 1) % cores;
+        for (unsigned r = 0; r < rounds; ++r) {
+            // Produce into own buffer.
+            for (unsigned rec = 0; rec < buf_records; ++rec)
+                for (unsigned w = 0; w < produce_words; ++w)
+                    tb.store(c,
+                             wordAddr(buf_of(c), rec * record_words + w),
+                             pc_base + 4 * w, gap);
+            // Consume the predecessor's buffer.
+            for (unsigned rec = 0; rec < buf_records; ++rec)
+                for (unsigned w = 0; w < consume_words; ++w)
+                    tb.load(c,
+                            wordAddr(buf_of(producer),
+                                     rec * record_words + w),
+                            pc_base + 256 + 4 * w, gap);
+        }
+    }
+}
+
+void
+genIrregular(TraceBuilder &tb, unsigned cores, Addr shared_base,
+             std::uint64_t shared_words, Addr priv_base,
+             std::uint64_t priv_words, std::uint64_t accesses,
+             double shared_frac, unsigned max_run, double write_frac,
+             unsigned gap, Pc pc_base)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        const Addr my_priv =
+            priv_base + static_cast<Addr>(c) * priv_words * kWordBytes;
+        for (std::uint64_t i = 0; i < accesses; ++i) {
+            const bool shared = tb.rng().chance(shared_frac);
+            const std::uint64_t space =
+                shared ? shared_words : priv_words;
+            const Addr area = shared ? shared_base : my_priv;
+            // The heap is a soup of fixed-size records: the record
+            // slot determines the object's size deterministically, as
+            // allocation does in a real program.
+            const std::uint64_t records =
+                std::max<std::uint64_t>(1, space / max_run);
+            const std::uint64_t rec = tb.rng().below(records);
+            const std::uint64_t start = rec * max_run;
+            const unsigned run = 1 + static_cast<unsigned>(
+                (rec * 0x9e3779b97f4a7c15ULL >> 32) % max_run);
+            for (unsigned w = 0; w < run; ++w) {
+                const Addr a = wordAddr(area, start + w);
+                // Distinct code site per (area, run length, position):
+                // real applications touch records of different sizes
+                // from different loops.
+                const Pc pc = pc_base + (shared ? 1024 : 0) +
+                    64 * run + 4 * w;
+                if (tb.rng().chance(write_frac))
+                    tb.store(c, a, pc, gap);
+                else
+                    tb.load(c, a, pc, gap);
+            }
+        }
+    }
+}
+
+void
+genStencil(TraceBuilder &tb, unsigned cores, Addr base,
+           unsigned rows_per_core, unsigned cols_words, unsigned iters,
+           unsigned gap, Pc pc_base)
+{
+    const unsigned total_rows = cores * rows_per_core;
+    auto row_addr = [&](unsigned row) {
+        return base + static_cast<Addr>(row) * cols_words * kWordBytes;
+    };
+    for (unsigned c = 0; c < cores; ++c) {
+        for (unsigned it = 0; it < iters; ++it) {
+            for (unsigned r = c * rows_per_core;
+                 r < (c + 1) * rows_per_core; ++r) {
+                const unsigned up = r == 0 ? total_rows - 1 : r - 1;
+                const unsigned down = (r + 1) % total_rows;
+                for (unsigned w = 0; w < cols_words; ++w) {
+                    tb.load(c, wordAddr(row_addr(up), w), pc_base, gap);
+                    tb.load(c, wordAddr(row_addr(down), w), pc_base + 4,
+                            gap);
+                    tb.load(c, wordAddr(row_addr(r), w), pc_base + 8,
+                            gap);
+                    tb.store(c, wordAddr(row_addr(r), w), pc_base + 12,
+                             gap);
+                }
+            }
+        }
+    }
+}
+
+void
+genPointerChase(TraceBuilder &tb, unsigned cores, Addr base,
+                std::uint64_t nodes, unsigned node_words,
+                unsigned touch_words, std::uint64_t steps,
+                double write_frac, double shared_frac, unsigned gap,
+                Pc pc_base)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        const Addr my_base =
+            base + (static_cast<Addr>(c) + 1) * nodes * node_words *
+                       kWordBytes;
+        for (std::uint64_t s = 0; s < steps; ++s) {
+            const bool shared = tb.rng().chance(shared_frac);
+            const Addr area = shared ? base : my_base;
+            const std::uint64_t node = tb.rng().below(nodes);
+            const Addr node_base =
+                wordAddr(area, node * node_words);
+            for (unsigned w = 0; w < touch_words; ++w) {
+                const Addr a = wordAddr(node_base, w);
+                const Pc pc = pc_base + (shared ? 64 : 0) + 4 * w;
+                if (w == touch_words - 1 && tb.rng().chance(write_frac))
+                    tb.store(c, a, pc, gap);
+                else
+                    tb.load(c, a, pc, gap);
+            }
+        }
+    }
+}
+
+void
+genMigratory(TraceBuilder &tb, unsigned cores, Addr base,
+             unsigned objects, unsigned obj_words, unsigned rounds,
+             unsigned gap, Pc pc_base)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        for (unsigned r = 0; r < rounds; ++r) {
+            // Visit objects in a per-core rotated order so ownership
+            // migrates between cores over time.
+            for (unsigned o = 0; o < objects; ++o) {
+                const unsigned obj = (o + c + r) % objects;
+                const Addr obj_base =
+                    wordAddr(base,
+                             static_cast<std::uint64_t>(obj) * obj_words);
+                for (unsigned w = 0; w < obj_words; ++w)
+                    tb.load(c, wordAddr(obj_base, w), pc_base + 4 * w,
+                            gap);
+                for (unsigned w = 0; w < obj_words; ++w)
+                    tb.store(c, wordAddr(obj_base, w),
+                             pc_base + 64 + 4 * w, gap);
+            }
+        }
+    }
+}
+
+} // namespace protozoa

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Access-pattern archetypes for synthetic workload generation.
+ *
+ * The paper traces 28 real applications; this reproduction synthesizes
+ * each of them from one (or a mix) of nine archetypes whose parameters
+ * control the two properties Protozoa responds to: spatial locality
+ * (how many contiguous words an access site touches) and sharing
+ * granularity (which cores read/write which words of shared regions).
+ * See DESIGN.md for the substitution rationale.
+ *
+ * All generators are deterministic functions of (config, seed, scale).
+ */
+
+#ifndef PROTOZOA_WORKLOAD_ARCHETYPES_HH
+#define PROTOZOA_WORKLOAD_ARCHETYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "workload/trace.hh"
+
+namespace protozoa {
+
+/** Per-core record buffers under construction. */
+class TraceBuilder
+{
+  public:
+    TraceBuilder(unsigned cores, std::uint64_t seed);
+
+    /** Append a load of the word at @p addr for @p core. */
+    void load(unsigned core, Addr addr, Pc pc, unsigned gap = 2);
+    /** Append a store to the word at @p addr for @p core. */
+    void store(unsigned core, Addr addr, Pc pc, unsigned gap = 2);
+
+    Rng &rng() { return generator; }
+
+    /** Interleaving is irrelevant (cores own their streams). */
+    Workload build();
+
+  private:
+    std::vector<std::vector<TraceRecord>> perCore;
+    Rng generator;
+};
+
+/**
+ * Archetype 1: private streaming.
+ * Each core makes @p passes sweeps over a private array of records,
+ * touching the first @p touch_words of each @p record_words -word
+ * record; the final touch is a store with probability @p write_frac.
+ */
+void genPrivateStream(TraceBuilder &tb, unsigned cores, Addr base,
+                      std::uint64_t elems, unsigned record_words,
+                      unsigned touch_words, double write_frac,
+                      unsigned gap, Pc pc_base, unsigned passes = 1);
+
+/**
+ * Archetype 2: false-shared counters (the Fig. 1 OpenMP example).
+ * Core c read-modify-writes the single word base + c*spacing_words;
+ * with 1-word spacing, 8 counters share a 64-byte region.
+ */
+void genFalseShareCounters(TraceBuilder &tb, unsigned cores, Addr base,
+                           std::uint64_t iters, unsigned spacing_words,
+                           unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 3: histogram reduction.
+ * Stream a private input; for each element, read-modify-write one of
+ * @p buckets shared single-word counters. Each core prefers its own
+ * bucket window with probability @p preference (local pixel-value
+ * clustering), so concurrent updates mostly hit *different words of
+ * the same regions* — the false-sharing pattern the paper reports —
+ * with occasional true conflicts.
+ */
+void genHistogram(TraceBuilder &tb, unsigned cores, Addr input_base,
+                  Addr bucket_base, std::uint64_t elems, unsigned buckets,
+                  double preference, unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 4: shared read-only table + private read-write state.
+ * Each access reads a @p run_words run at a random table offset, then
+ * updates a private accumulator.
+ */
+void genSharedReadOnly(TraceBuilder &tb, unsigned cores, Addr table_base,
+                       std::uint64_t table_words, Addr priv_base,
+                       std::uint64_t accesses, unsigned run_words,
+                       unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 5: producer/consumer pipeline.
+ * In each round, core c stores the first @p produce_words of every
+ * @p record_words -word record of its own buffer, then loads the first
+ * @p consume_words of each record of its predecessor's buffer.
+ * Sparse production/consumption models the low data-utilization
+ * pipelines of the paper (e.g. x264 at 24% USED).
+ */
+void genProducerConsumer(TraceBuilder &tb, unsigned cores, Addr base,
+                         unsigned buf_records, unsigned record_words,
+                         unsigned produce_words, unsigned consume_words,
+                         unsigned rounds, unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 6: irregular heap.
+ * Random single accesses over a mixed private/shared footprint with a
+ * short locality run, modelling commercial/managed workloads.
+ */
+void genIrregular(TraceBuilder &tb, unsigned cores, Addr shared_base,
+                  std::uint64_t shared_words, Addr priv_base,
+                  std::uint64_t priv_words, std::uint64_t accesses,
+                  double shared_frac, unsigned max_run, double write_frac,
+                  unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 7: row-partitioned stencil.
+ * Core c sweeps its rows reading up/down neighbours (boundary rows are
+ * read-shared with adjacent cores) and writing its own row.
+ */
+void genStencil(TraceBuilder &tb, unsigned cores, Addr base,
+                unsigned rows_per_core, unsigned cols_words,
+                unsigned iters, unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 8: pointer chasing.
+ * Random node visits touching 1..@p touch_words words per node; low
+ * spatial locality, mild write mix.
+ */
+void genPointerChase(TraceBuilder &tb, unsigned cores, Addr base,
+                     std::uint64_t nodes, unsigned node_words,
+                     unsigned touch_words, std::uint64_t steps,
+                     double write_frac, double shared_frac,
+                     unsigned gap, Pc pc_base);
+
+/**
+ * Archetype 9: migratory objects.
+ * Cores take turns read-modify-writing whole shared objects,
+ * producing owner hand-offs of full records.
+ */
+void genMigratory(TraceBuilder &tb, unsigned cores, Addr base,
+                  unsigned objects, unsigned obj_words, unsigned rounds,
+                  unsigned gap, Pc pc_base);
+
+} // namespace protozoa
+
+#endif // PROTOZOA_WORKLOAD_ARCHETYPES_HH

@@ -1,0 +1,343 @@
+#include "workload/benchmarks.hh"
+
+#include "common/log.hh"
+#include "workload/archetypes.hh"
+
+namespace protozoa {
+
+namespace {
+
+/** Address-map constants: disjoint arenas per data structure. */
+constexpr Addr kPrivArena = 0x10000000;
+constexpr Addr kPrivArena2 = 0x30000000;
+constexpr Addr kSharedArena = 0x80000000;
+constexpr Addr kSharedArena2 = 0xa0000000;
+constexpr Addr kSharedArena3 = 0xc0000000;
+
+std::uint64_t
+scaled(double scale, std::uint64_t n)
+{
+    const auto v = static_cast<std::uint64_t>(scale * n);
+    return v == 0 ? 1 : v;
+}
+
+unsigned
+scaledU(double scale, unsigned n)
+{
+    return static_cast<unsigned>(scaled(scale, n));
+}
+
+std::uint64_t
+seedFor(const SystemConfig &cfg, const char *name)
+{
+    std::uint64_t h = cfg.seed;
+    for (const char *p = name; *p; ++p)
+        h = h * 1099511628211ULL + static_cast<unsigned char>(*p);
+    return h;
+}
+
+} // namespace
+
+const std::vector<BenchSpec> &
+paperBenchmarks()
+{
+    static const std::vector<BenchSpec> specs = {
+        // Irregular request mix over a shared heap: modest locality,
+        // some read-write sharing (Table 1: USED 37%, optimal 128 B).
+        {"apache", "commercial",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "apache"));
+             genIrregular(tb, cfg.numCores, kSharedArena, 8192,
+                          kPrivArena, 4096, scaled(s, 6000), 0.35, 4,
+                          0.25, 10, 0x4000);
+             return tb.build();
+         }},
+        // Tree walk over small bodies; moderate sharing (USED 37%).
+        {"barnes", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "barnes"));
+             genPointerChase(tb, cfg.numCores, kSharedArena, 2048, 4, 3,
+                             scaled(s, 8000), 0.2, 0.3, 8, 0x4100);
+             return tb.build();
+         }},
+        // Sparse option records + a pinch of false sharing (USED 26%,
+        // optimal 16 B).
+        {"blackscholes", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "blackscholes"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1400), 8, 2, 0.3, 18, 0x4200, 3);
+             genFalseShareCounters(tb, cfg.numCores, kSharedArena,
+                                   scaled(s, 400), 1, 18, 0x4240);
+             return tb.build();
+         }},
+        // Low-spatial-locality body model (USED 21%, optimal 16 B).
+        {"bodytrack", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "bodytrack"));
+             genPointerChase(tb, cfg.numCores, kSharedArena, 4096, 8, 2,
+                             scaled(s, 8000), 0.15, 0.2, 16, 0x4300);
+             return tb.build();
+         }},
+        // Nearly-random single-word netlist updates (USED 16%).
+        {"canneal", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "canneal"));
+             genIrregular(tb, cfg.numCores, kSharedArena, 16384,
+                          kPrivArena, 4096, scaled(s, 10000), 0.5, 1,
+                          0.3, 16, 0x4400);
+             return tb.build();
+         }},
+        // Migratory panel factorization (USED 62%).
+        {"cholesky", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "cholesky"));
+             genMigratory(tb, cfg.numCores, kSharedArena, 96, 8,
+                          scaledU(s, 8), 4, 0x4500);
+             return tb.build();
+         }},
+        // Dense per-particle records (USED 80%).
+        {"facesim", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "facesim"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1200), 8, 6, 0.3, 6, 0x4600, 3);
+             return tb.build();
+         }},
+        // Blocked butterfly sweeps (USED 67%, optimal 128 B).
+        {"fft", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "fft"));
+             genStencil(tb, cfg.numCores, kSharedArena, 2, 64,
+                        scaledU(s, 10), 4, 0x4700);
+             return tb.build();
+         }},
+        // Grid sweeps plus cell-list false sharing (USED 54%).
+        {"fluidanimate", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "fluidanimate"));
+             genStencil(tb, cfg.numCores, kSharedArena, 2, 48,
+                        scaledU(s, 8), 5, 0x4800);
+             genFalseShareCounters(tb, cfg.numCores, kSharedArena2,
+                                   scaled(s, 400), 2, 5, 0x4840);
+             return tb.build();
+         }},
+        // Managed-heap pointer chasing + allocator false sharing
+        // (USED 59%, strong INV growth at 64 B).
+        {"h2", "DaCapo",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "h2"));
+             genPointerChase(tb, cfg.numCores, kSharedArena, 1024, 8, 3,
+                             scaled(s, 5000), 0.3, 0.5, 10, 0x4900);
+             genFalseShareCounters(tb, cfg.numCores, kSharedArena2,
+                                   scaled(s, 500), 1, 10, 0x4940);
+             return tb.build();
+         }},
+        // Shared bucket array updated at word granularity: the paper's
+        // flagship false-sharing reduction case (USED 53%).
+        {"histogram", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "histogram"));
+             genHistogram(tb, cfg.numCores, kPrivArena, kSharedArena,
+                          scaled(s, 2500), 256, 0.9, 18, 0x4a00);
+             return tb.build();
+         }},
+        // Transactional object soup (USED 26%, optimal 128 B).
+        {"jbb", "commercial",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "jbb"));
+             genIrregular(tb, cfg.numCores, kSharedArena, 16384,
+                          kPrivArena, 8192, scaled(s, 6000), 0.3, 5,
+                          0.2, 12, 0x4b00);
+             return tb.build();
+         }},
+        // Shared read-only centroids, full-region runs (USED 99%).
+        {"kmeans", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "kmeans"));
+             genSharedReadOnly(tb, cfg.numCores, kSharedArena, 4096,
+                               kPrivArena, scaled(s, 2000), 8, 4,
+                               0x4c00);
+             return tb.build();
+         }},
+        // Loops over a small private point set, accumulating into a
+        // per-thread slot of one shared accumulator array whose
+        // adjacent thread slots share regions: the Fig. 1 pattern
+        // (USED 27%, optimal 16 B; paper: 99% miss reduction and a
+        // 2.2x speedup under MW while SW cannot help).
+        {"linear-regression", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores,
+                             seedFor(cfg, "linear-regression"));
+             const std::uint64_t elems = scaled(s, 1200);
+             const unsigned spacing = 4;   // two thread slots/region
+             for (unsigned c = 0; c < cfg.numCores; ++c) {
+                 const Addr input =
+                     kPrivArena + static_cast<Addr>(c) * elems * 8;
+                 const Addr acc =
+                     kSharedArena + static_cast<Addr>(c) * spacing * 8;
+                 for (unsigned pass = 0; pass < 3; ++pass) {
+                     for (std::uint64_t e = 0; e < elems; ++e) {
+                         tb.load(c, input + e * 8, 0x4d00, 16);
+                         tb.load(c, acc, 0x4d04, 16);
+                         tb.store(c, acc, 0x4d08, 16);
+                     }
+                 }
+             }
+             return tb.build();
+         }},
+        // Blocked dense factorization sweeps (USED 47%).
+        {"lu", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "lu"));
+             genStencil(tb, cfg.numCores, kSharedArena, 2, 56,
+                        scaledU(s, 8), 4, 0x4e00);
+             return tb.build();
+         }},
+        // Embarrassingly parallel dense streams (USED 99%).
+        {"mat-mul", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "mat-mul"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1500), 8, 8, 0.25, 5, 0x4f00,
+                              2);
+             return tb.build();
+         }},
+        // Nearest-neighbour grid relaxation (USED 53%).
+        {"ocean", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "ocean"));
+             genStencil(tb, cfg.numCores, kSharedArena, 3, 64,
+                        scaledU(s, 6), 4, 0x5000);
+             return tb.build();
+         }},
+        // k-D tree build: dense private + shared read mix (USED 68%).
+        {"parkd", "Denovo",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "parkd"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1000), 8, 6, 0.2, 5, 0x5100, 3);
+             genSharedReadOnly(tb, cfg.numCores, kSharedArena, 2048,
+                               kPrivArena2, scaled(s, 600), 6, 5,
+                               0x5140);
+             return tb.build();
+         }},
+        // Key streams + rank hand-offs (USED 56%).
+        {"radix", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "radix"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1000), 8, 5, 0.4, 4, 0x5200, 2);
+             genMigratory(tb, cfg.numCores, kSharedArena, 48, 8,
+                          scaledU(s, 4), 4, 0x5240);
+             return tb.build();
+         }},
+        // Read-shared scene plus single-producer/single-consumer rays
+        // (USED 63%, Fig. 11 single-owner pattern).
+        {"raytrace", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "raytrace"));
+             genSharedReadOnly(tb, cfg.numCores, kSharedArena, 8192,
+                               kPrivArena, scaled(s, 1500), 6, 5,
+                               0x5300);
+             genProducerConsumer(tb, cfg.numCores, kSharedArena2, 8, 8,
+                                 8, 6, scaledU(s, 6), 5, 0x5340);
+             return tb.build();
+         }},
+        // Dense private postings + irregular shared index (USED 64%).
+        {"rev-index", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "rev-index"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 900), 8, 5, 0.2, 5, 0x5400, 2);
+             genIrregular(tb, cfg.numCores, kSharedArena, 8192,
+                          kPrivArena2, 2048, scaled(s, 800), 0.6, 3,
+                          0.3, 5, 0x5440);
+             return tb.build();
+         }},
+        // High-locality reads + fine-grain read-write centres
+        // (USED 76%).
+        {"streamcluster", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "streamcluster"));
+             genSharedReadOnly(tb, cfg.numCores, kSharedArena, 2048,
+                               kPrivArena, scaled(s, 1200), 8, 4,
+                               0x5500);
+             genFalseShareCounters(tb, cfg.numCores, kSharedArena2,
+                                   scaled(s, 600), 2, 4, 0x5540);
+             genProducerConsumer(tb, cfg.numCores, kSharedArena3, 4, 8,
+                                 8, 8, scaledU(s, 4), 4, 0x5580);
+             return tb.build();
+         }},
+        // Per-thread match counters + private text (USED 50%).
+        {"string-match", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "string-match"));
+             genFalseShareCounters(tb, cfg.numCores, kSharedArena,
+                                   scaled(s, 1200), 1, 5, 0x5600);
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 700), 8, 4, 0.15, 5, 0x5640, 2);
+             return tb.build();
+         }},
+        // Independent swaption records (USED 64%).
+        {"swaptions", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "swaptions"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1200), 8, 5, 0.2, 8, 0x5700, 3);
+             return tb.build();
+         }},
+        // Managed-runtime object graph (USED 32%).
+        {"tradebeans", "DaCapo",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "tradebeans"));
+             genIrregular(tb, cfg.numCores, kSharedArena, 8192,
+                          kPrivArena, 8192, scaled(s, 5000), 0.2, 3,
+                          0.25, 12, 0x5800);
+             return tb.build();
+         }},
+        // Molecule grid + migratory force accumulation (USED 46%).
+        {"water", "SPLASH2",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "water"));
+             genStencil(tb, cfg.numCores, kSharedArena, 2, 40,
+                        scaledU(s, 8), 5, 0x5900);
+             genMigratory(tb, cfg.numCores, kSharedArena2, 32, 8,
+                          scaledU(s, 3), 5, 0x5940);
+             return tb.build();
+         }},
+        // Dense word streams (USED 99%).
+        {"word-count", "Phoenix",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "word-count"));
+             genPrivateStream(tb, cfg.numCores, kPrivArena,
+                              scaled(s, 1600), 8, 8, 0.3, 5, 0x5a00,
+                              2);
+             return tb.build();
+         }},
+        // Sparse frame pipeline between stages (USED 24%).
+        {"x264", "PARSEC",
+         [](const SystemConfig &cfg, double s) {
+             TraceBuilder tb(cfg.numCores, seedFor(cfg, "x264"));
+             genProducerConsumer(tb, cfg.numCores, kSharedArena, 12, 8,
+                                 2, 2, scaledU(s, 10), 10, 0x5b00);
+             genIrregular(tb, cfg.numCores, kSharedArena2, 4096,
+                          kPrivArena, 2048, scaled(s, 2000), 0.3, 2,
+                          0.3, 10, 0x5b40);
+             return tb.build();
+         }},
+    };
+    return specs;
+}
+
+const BenchSpec &
+findBenchmark(const std::string &name)
+{
+    for (const auto &spec : paperBenchmarks()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace protozoa

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's 28-application benchmark roster (Table 5), synthesized
+ * from the archetypes in archetypes.hh.
+ *
+ * Each profile is calibrated to the qualitative properties the paper
+ * reports for the real application (Table 1: optimal block size,
+ * USED%, presence of false sharing; Fig. 11/12 sharing and granularity
+ * character). Absolute miss rates are not expected to match the
+ * paper's; the protocol-vs-protocol *shape* is.
+ */
+
+#ifndef PROTOZOA_WORKLOAD_BENCHMARKS_HH
+#define PROTOZOA_WORKLOAD_BENCHMARKS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "workload/trace.hh"
+
+namespace protozoa {
+
+struct BenchSpec
+{
+    std::string name;
+    /** Originating suite in the paper (Table 5). */
+    std::string suite;
+    /** Build the per-core traces; @p scale multiplies reference counts. */
+    std::function<Workload(const SystemConfig &, double)> gen;
+};
+
+/** All 28 profiles, in the paper's figure order. */
+const std::vector<BenchSpec> &paperBenchmarks();
+
+/** Look up a profile by name; fatal() when unknown. */
+const BenchSpec &findBenchmark(const std::string &name);
+
+} // namespace protozoa
+
+#endif // PROTOZOA_WORKLOAD_BENCHMARKS_HH

@@ -1,0 +1,3 @@
+// Trace classes are header-only; this translation unit verifies the
+// header is self-contained.
+#include "workload/trace.hh"

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Paper-shape regression tests on the benchmark suite: the headline
+ * qualitative results of the evaluation must hold at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protozoa/protozoa.hh"
+
+namespace protozoa {
+namespace {
+
+RunStats
+run(const std::string &name, ProtocolKind protocol, double scale = 0.5)
+{
+    SystemConfig cfg;
+    cfg.protocol = protocol;
+    return runBenchmark(cfg, name, scale);
+}
+
+TEST(BenchmarkSuite, LinearRegressionMwEliminatesMisses)
+{
+    const RunStats mesi =
+        run("linear-regression", ProtocolKind::MESI, 1.0);
+    const RunStats mw =
+        run("linear-regression", ProtocolKind::ProtozoaMW, 1.0);
+    // Paper: up to 99% miss reduction (cold warmup misses remain).
+    EXPECT_LT(static_cast<double>(mw.l1.misses),
+              0.08 * static_cast<double>(mesi.l1.misses));
+    // And a large speedup (paper: 2.2x).
+    EXPECT_LT(static_cast<double>(mw.cycles),
+              0.7 * static_cast<double>(mesi.cycles));
+}
+
+TEST(BenchmarkSuite, LinearRegressionSwDoesNotHelp)
+{
+    const RunStats mesi = run("linear-regression", ProtocolKind::MESI);
+    const RunStats sw = run("linear-regression",
+                            ProtocolKind::ProtozoaSW);
+    // False sharing persists at region granularity.
+    EXPECT_GT(static_cast<double>(sw.l1.misses),
+              0.8 * static_cast<double>(mesi.l1.misses));
+}
+
+TEST(BenchmarkSuite, HistogramOrderingMatchesPaper)
+{
+    const RunStats mesi = run("histogram", ProtocolKind::MESI);
+    const RunStats sw = run("histogram", ProtocolKind::ProtozoaSW);
+    const RunStats swmr = run("histogram", ProtocolKind::ProtozoaSWMR);
+    const RunStats mw = run("histogram", ProtocolKind::ProtozoaMW);
+
+    // Paper: SW cannot eliminate histogram's false sharing; SW+MR
+    // helps; MW helps most (71% miss reduction).
+    EXPECT_GT(static_cast<double>(sw.l1.misses),
+              0.8 * static_cast<double>(mesi.l1.misses));
+    EXPECT_LT(static_cast<double>(swmr.l1.misses),
+              0.8 * static_cast<double>(sw.l1.misses));
+    EXPECT_LT(static_cast<double>(mw.l1.misses),
+              0.6 * static_cast<double>(swmr.l1.misses));
+    EXPECT_LT(static_cast<double>(mw.l1.misses),
+              0.4 * static_cast<double>(mesi.l1.misses));
+}
+
+TEST(BenchmarkSuite, DenseStreamsSeeNoProtocolDifference)
+{
+    for (const char *name : {"mat-mul", "word-count"}) {
+        const RunStats mesi = run(name, ProtocolKind::MESI, 0.3);
+        const RunStats mw = run(name, ProtocolKind::ProtozoaMW, 0.3);
+        // Full-locality workloads: Protozoa fetches full regions too.
+        EXPECT_NEAR(static_cast<double>(mw.l1.misses),
+                    static_cast<double>(mesi.l1.misses),
+                    0.15 * static_cast<double>(mesi.l1.misses))
+            << name;
+    }
+}
+
+TEST(BenchmarkSuite, LowLocalityAppsCutTrafficSharply)
+{
+    // Full scale: the predictor needs a few L1 generations to train.
+    for (const char *name : {"blackscholes", "bodytrack"}) {
+        const RunStats mesi = run(name, ProtocolKind::MESI, 1.0);
+        const RunStats sw = run(name, ProtocolKind::ProtozoaSW, 1.0);
+        const auto t0 = trafficBreakdown(mesi).total();
+        const auto t1 = trafficBreakdown(sw).total();
+        EXPECT_LT(t1, 0.6 * t0) << name;
+    }
+}
+
+TEST(BenchmarkSuite, AdaptiveFetchRaisesUsedFraction)
+{
+    for (const char *name : {"canneal", "bodytrack", "h2"}) {
+        const RunStats mesi = run(name, ProtocolKind::MESI, 0.4);
+        const RunStats mw = run(name, ProtocolKind::ProtozoaMW, 0.4);
+        EXPECT_GT(mw.usedDataFraction(),
+                  mesi.usedDataFraction() + 0.2)
+            << name;
+    }
+}
+
+TEST(BenchmarkSuite, SwMrSitsBetweenSwAndMwOnDataTraffic)
+{
+    // The paper's Sec. 4.1 claim is about *data* transferred: SW+MR
+    // "reduces data transferred compared to Protozoa-SW by eliminating
+    // secondary misses", and MW goes further. (Total bytes can move
+    // the other way: the paper itself notes SW+MR's retained sharers
+    // attract extra invalidation control messages.)
+    double sw_data = 0, swmr_data = 0, mw_data = 0;
+    for (const char *name :
+         {"histogram", "linear-regression", "string-match"}) {
+        auto data = [&](ProtocolKind k) {
+            const auto tb = trafficBreakdown(run(name, k));
+            return tb.usedData + tb.unusedData;
+        };
+        sw_data += data(ProtocolKind::ProtozoaSW);
+        swmr_data += data(ProtocolKind::ProtozoaSWMR);
+        mw_data += data(ProtocolKind::ProtozoaMW);
+    }
+    EXPECT_LT(swmr_data, sw_data);
+    EXPECT_LE(mw_data, swmr_data);
+}
+
+TEST(BenchmarkSuite, ValueCheckingCleanOnMixedWorkloads)
+{
+    for (const char *name : {"histogram", "streamcluster", "x264"}) {
+        for (auto protocol :
+             {ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+            SystemConfig cfg;
+            cfg.protocol = protocol;
+            const BenchSpec &spec = findBenchmark(name);
+            System sys(cfg, spec.gen(cfg, 0.3));
+            sys.run();
+            EXPECT_EQ(sys.valueViolations(), 0u)
+                << name << " " << protocolName(protocol);
+            EXPECT_FALSE(sys.checkCoherenceInvariant().has_value());
+        }
+    }
+}
+
+TEST(BenchmarkSuite, MwBlockSizesSpreadWithLocality)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+
+    // canneal: overwhelmingly 1-2 word blocks.
+    RunStats canneal = runBenchmark(cfg, "canneal", 0.4);
+    std::uint64_t small = 0, large = 0;
+    for (unsigned w = 1; w <= 2; ++w)
+        small += canneal.l1.blockSizeHist[w];
+    for (unsigned w = 7; w <= 8; ++w)
+        large += canneal.l1.blockSizeHist[w];
+    EXPECT_GT(small, large);
+
+    // mat-mul: overwhelmingly 8-word blocks.
+    RunStats mm = runBenchmark(cfg, "mat-mul", 0.3);
+    small = large = 0;
+    for (unsigned w = 1; w <= 2; ++w)
+        small += mm.l1.blockSizeHist[w];
+    for (unsigned w = 7; w <= 8; ++w)
+        large += mm.l1.blockSizeHist[w];
+    EXPECT_GT(large, small);
+}
+
+TEST(BenchmarkSuite, InstructionCountsIndependentOfProtocol)
+{
+    const RunStats a = run("fft", ProtocolKind::MESI, 0.3);
+    const RunStats b = run("fft", ProtocolKind::ProtozoaMW, 0.3);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1.loads + a.l1.stores, b.l1.loads + b.l1.stores);
+}
+
+} // namespace
+} // namespace protozoa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * and the deadlock safety net.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace protozoa {
+namespace {
+
+TEST(EventQueue, StartsAtCycleZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 5)
+            eq.schedule(7, chain);
+    };
+    eq.schedule(1, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 1u + 4 * 7u);
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteCycle)
+{
+    EventQueue eq;
+    Cycle seen = 0;
+    eq.scheduleAt(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueDeath, RunawayQueuePanics)
+{
+    EventQueue eq;
+    std::function<void()> forever = [&]() { eq.schedule(100, forever); };
+    eq.schedule(1, forever);
+    EXPECT_DEATH(eq.run(10'000), "deadlock or livelock");
+}
+
+} // namespace
+} // namespace protozoa

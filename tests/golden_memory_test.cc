@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the word stores backing the memory image and the
+ * load-value oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/golden_memory.hh"
+
+namespace protozoa {
+namespace {
+
+TEST(WordStore, InitialValueIsDeterministic)
+{
+    WordStore a, b;
+    for (Addr addr = 0; addr < 1024; addr += 8)
+        EXPECT_EQ(a.read(addr), b.read(addr));
+}
+
+TEST(WordStore, InitialValuesDifferAcrossWords)
+{
+    WordStore s;
+    EXPECT_NE(s.read(0x1000), s.read(0x1008));
+}
+
+TEST(WordStore, WriteThenRead)
+{
+    WordStore s;
+    s.write(0x2000, 0xdeadbeef);
+    EXPECT_EQ(s.read(0x2000), 0xdeadbeefu);
+}
+
+TEST(WordStore, SubWordAddressesAliasToSameWord)
+{
+    WordStore s;
+    s.write(0x3000, 77);
+    for (unsigned off = 0; off < 8; ++off)
+        EXPECT_EQ(s.read(0x3000 + off), 77u);
+    s.write(0x3005, 88);
+    EXPECT_EQ(s.read(0x3000), 88u);
+}
+
+TEST(WordStore, TouchedWordsCountsDistinctWords)
+{
+    WordStore s;
+    EXPECT_EQ(s.touchedWords(), 0u);
+    s.write(0x100, 1);
+    s.write(0x104, 2);   // same word
+    s.write(0x108, 3);   // next word
+    EXPECT_EQ(s.touchedWords(), 2u);
+}
+
+TEST(GoldenMemory, CleanLoadPasses)
+{
+    GoldenMemory g;
+    const Addr a = 0x4000;
+    EXPECT_TRUE(g.checkLoad(a, g.expected(a)));
+    EXPECT_EQ(g.violations(), 0u);
+}
+
+TEST(GoldenMemory, StoreThenMatchingLoadPasses)
+{
+    GoldenMemory g;
+    g.commitStore(0x5000, 42);
+    EXPECT_TRUE(g.checkLoad(0x5000, 42));
+    EXPECT_EQ(g.violations(), 0u);
+}
+
+TEST(GoldenMemory, StaleLoadIsFlagged)
+{
+    GoldenMemory g;
+    g.commitStore(0x6000, 1);
+    g.commitStore(0x6000, 2);
+    EXPECT_FALSE(g.checkLoad(0x6000, 1));
+    EXPECT_EQ(g.violations(), 1u);
+    EXPECT_EQ(g.lastViolationAddr(), 0x6000u);
+    EXPECT_EQ(g.lastExpectedValue(), 2u);
+    EXPECT_EQ(g.lastObservedValue(), 1u);
+}
+
+TEST(GoldenMemory, ViolationsAccumulate)
+{
+    GoldenMemory g;
+    g.commitStore(0x7000, 9);
+    g.checkLoad(0x7000, 1);
+    g.checkLoad(0x7000, 2);
+    g.checkLoad(0x7000, 9);
+    EXPECT_EQ(g.violations(), 2u);
+}
+
+} // namespace
+} // namespace protozoa

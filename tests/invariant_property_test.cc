@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property tests: across a configuration matrix (protocol x predictor
+ * x region size x cache pressure), random conflict-heavy workloads
+ * must preserve the SWMR invariant and load-value correctness, and a
+ * cold-start Protozoa with full-region predictions must be
+ * message-for-message equivalent to MESI (paper correctness
+ * invariant (i)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol_driver.hh"
+#include "sim/random_tester.hh"
+
+namespace protozoa {
+namespace {
+
+struct MatrixCase
+{
+    ProtocolKind protocol;
+    PredictorKind predictor;
+    unsigned regionBytes;
+    unsigned l1Sets;
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(ConfigMatrix, RandomConflictWorkloadStaysCoherent)
+{
+    const MatrixCase &mc = GetParam();
+
+    SystemConfig cfg;
+    cfg.protocol = mc.protocol;
+    cfg.predictor = mc.predictor;
+    cfg.regionBytes = mc.regionBytes;
+    cfg.l1Sets = mc.l1Sets;
+    cfg.checkValues = true;
+
+    Rng rng(mc.regionBytes * 131 + mc.l1Sets);
+    TraceBuilder tb(cfg.numCores, 17);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        for (unsigned i = 0; i < 400; ++i) {
+            const Addr a =
+                0x9000 + rng.below(8 * cfg.regionBytes / kWordBytes) *
+                             kWordBytes;
+            if (rng.chance(0.45))
+                tb.store(c, a, 0x40 + 4 * (i % 8), 1);
+            else
+                tb.load(c, a, 0x40 + 4 * (i % 8), 1);
+        }
+    }
+
+    System sys(cfg, tb.build());
+    sys.enablePeriodicInvariantCheck(48);
+    sys.run();
+    EXPECT_EQ(sys.valueViolations(), 0u);
+    EXPECT_EQ(sys.invariantViolations(), 0u);
+}
+
+std::vector<MatrixCase>
+matrix()
+{
+    std::vector<MatrixCase> cases;
+    for (auto protocol :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+          ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        for (auto predictor :
+             {PredictorKind::PcSpatial, PredictorKind::WordOnly}) {
+            for (unsigned region : {32u, 64u, 128u}) {
+                cases.push_back({protocol, predictor, region, 8});
+            }
+        }
+        cases.push_back(
+            {protocol, PredictorKind::PcSpatial, 64u, 2});  // pressure
+    }
+    return cases;
+}
+
+std::string
+matrixName(const ::testing::TestParamInfo<MatrixCase> &info)
+{
+    std::string name = protocolName(info.param.protocol);
+    for (auto &ch : name)
+        if (ch == '-' || ch == '+')
+            ch = '_';
+    name += info.param.predictor == PredictorKind::WordOnly ? "_word"
+                                                            : "_pc";
+    name += "_r" + std::to_string(info.param.regionBytes);
+    name += "_s" + std::to_string(info.param.l1Sets);
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConfigMatrix,
+                         ::testing::ValuesIn(matrix()), matrixName);
+
+/**
+ * Paper invariant (i): "Protozoa mimics MESI's behavior when only a
+ * fixed block size is predicted". With the FullRegion predictor every
+ * Protozoa variant must produce the same misses, hits, and data bytes
+ * as MESI on any workload.
+ */
+class MesiEquivalence : public ::testing::TestWithParam<ProtocolKind>
+{
+};
+
+TEST_P(MesiEquivalence, FullRegionPredictionMimicsMesi)
+{
+    auto runWith = [](ProtocolKind protocol) {
+        SystemConfig cfg;
+        cfg.protocol = protocol;
+        cfg.predictor = PredictorKind::FullRegion;
+
+        Rng rng(5);
+        TraceBuilder tb(cfg.numCores, 23);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            for (unsigned i = 0; i < 600; ++i) {
+                const Addr a = 0xa000 + rng.below(256) * kWordBytes;
+                if (rng.chance(0.3))
+                    tb.store(c, a, 0x60, 2);
+                else
+                    tb.load(c, a, 0x60, 2);
+            }
+        }
+        System sys(cfg, tb.build());
+        sys.run();
+        EXPECT_EQ(sys.valueViolations(), 0u);
+        return sys.report();
+    };
+
+    const RunStats mesi = runWith(ProtocolKind::MESI);
+    const RunStats proto = runWith(GetParam());
+
+    EXPECT_EQ(proto.l1.misses, mesi.l1.misses);
+    EXPECT_EQ(proto.l1.hits, mesi.l1.hits);
+    EXPECT_EQ(proto.l1.dataBytes(), mesi.l1.dataBytes());
+    EXPECT_EQ(proto.l1.invMsgsReceived, mesi.l1.invMsgsReceived);
+    EXPECT_EQ(proto.cycles, mesi.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, MesiEquivalence,
+    ::testing::Values(ProtocolKind::ProtozoaSW,
+                      ProtocolKind::ProtozoaSWMR,
+                      ProtocolKind::ProtozoaMW),
+    [](const ::testing::TestParamInfo<ProtocolKind> &info) {
+        std::string name = protocolName(info.param);
+        for (auto &ch : name)
+            if (ch == '-' || ch == '+')
+                ch = '_';
+        return name;
+    });
+
+/** The paper's million-access random test, shrunk for CI but still
+ *  substantial: 16 cores x 4k accesses x 4 protocols. */
+TEST(MillionAccessStyle, AllProtocolsSurviveLongFuzz)
+{
+    for (auto protocol :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+          ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        RandomTester::Params p;
+        p.protocol = protocol;
+        p.accessesPerCore = 4000;
+        p.regions = 24;
+        p.checkPeriod = 256;
+        p.seed = 1234;
+        const auto result = RandomTester::run(p);
+        EXPECT_EQ(result.valueViolations, 0u) << protocolName(protocol);
+        EXPECT_EQ(result.invariantViolations, 0u)
+            << protocolName(protocol);
+    }
+}
+
+/** Region-granularity invariant: under MESI/SW a writer excludes all
+ *  other holders of the region, not just overlapping ones. */
+TEST(InvariantChecker, DetectsViolationsWhenSeeded)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+    System sys(cfg, emptyWorkload(cfg.numCores));
+
+    // Manufacture an illegal state directly in the storage.
+    auto mk = [&](CoreId core, unsigned start, unsigned end,
+                  BlockState st) {
+        AmoebaBlock blk;
+        blk.region = 0x8000;
+        blk.range = WordRange(start, end);
+        blk.state = st;
+        blk.words.assign(blk.range.words(), 0);
+        sys.l1(core).cacheStorage().insert(blk);
+    };
+
+    mk(0, 0, 3, BlockState::M);
+    mk(1, 5, 7, BlockState::M);   // disjoint writers: legal under MW
+    EXPECT_FALSE(sys.checkCoherenceInvariant().has_value());
+
+    mk(2, 3, 4, BlockState::S);   // overlaps core 0's dirty words
+    const auto err = sys.checkCoherenceInvariant();
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("SWMR"), std::string::npos);
+}
+
+} // namespace
+} // namespace protozoa

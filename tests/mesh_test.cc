@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the 4x4 mesh model: XY hop counts, flit accounting
+ * (the Fig. 15 energy proxy), latency, and per-pair FIFO ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "noc/mesh.hh"
+
+namespace protozoa {
+namespace {
+
+SystemConfig
+cfg4x4()
+{
+    SystemConfig cfg;
+    return cfg;
+}
+
+TEST(Mesh, HopCountsAreManhattan)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+
+    EXPECT_EQ(mesh.hops(0, 0), 0u);
+    EXPECT_EQ(mesh.hops(0, 1), 1u);    // same row
+    EXPECT_EQ(mesh.hops(0, 4), 1u);    // same column
+    EXPECT_EQ(mesh.hops(0, 5), 2u);    // diagonal neighbour
+    EXPECT_EQ(mesh.hops(0, 15), 6u);   // corner to corner
+    EXPECT_EQ(mesh.hops(15, 0), 6u);   // symmetric
+    EXPECT_EQ(mesh.hops(3, 12), 6u);   // other diagonal
+}
+
+TEST(Mesh, FlitsRoundUp)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+    EXPECT_EQ(mesh.flitsFor(1), 1u);
+    EXPECT_EQ(mesh.flitsFor(16), 1u);
+    EXPECT_EQ(mesh.flitsFor(17), 2u);
+    EXPECT_EQ(mesh.flitsFor(72), 5u);   // 8B header + 64B data
+}
+
+TEST(Mesh, SendAccumulatesStats)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+
+    mesh.send(0, 15, 72, [] {});      // 5 flits x 6 hops
+    mesh.send(1, 2, 8, [] {});        // 1 flit x 1 hop
+    eq.run();
+
+    const NetStats &s = mesh.netStats();
+    EXPECT_EQ(s.messages, 2u);
+    EXPECT_EQ(s.bytes, 80u);
+    EXPECT_EQ(s.flits, 6u);
+    EXPECT_EQ(s.flitHops, 5u * 6u + 1u);
+}
+
+TEST(Mesh, LocalDeliveryCountsNoFlitHops)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+    bool delivered = false;
+    mesh.send(3, 3, 64, [&] { delivered = true; });
+    eq.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(mesh.netStats().flitHops, 0u);
+}
+
+TEST(Mesh, LatencyGrowsWithDistanceAndSize)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+
+    const Cycle near_small = mesh.send(0, 1, 8, [] {});
+    const Cycle far_small = mesh.send(0, 15, 8, [] {});
+    const Cycle far_big = mesh.send(0, 15, 72, [] {});
+    EXPECT_LT(near_small, far_small);
+    EXPECT_LT(far_small, far_big);
+    eq.run();
+}
+
+TEST(Mesh, PerPairFifoOrderIsPreserved)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+
+    std::vector<int> order;
+    // A big (slow) message followed by a small (fast) one on the same
+    // channel must not reorder.
+    mesh.send(0, 15, 1000, [&] { order.push_back(1); });
+    mesh.send(0, 15, 8, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Mesh, DistinctPairsMayOvertake)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+
+    std::vector<int> order;
+    mesh.send(0, 15, 4000, [&] { order.push_back(1); });  // slow, far
+    mesh.send(5, 6, 8, [&] { order.push_back(2); });      // fast, near
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Mesh, ClearStatsResets)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+    mesh.send(0, 1, 8, [] {});
+    eq.run();
+    EXPECT_GT(mesh.netStats().messages, 0u);
+    mesh.clearStats();
+    EXPECT_EQ(mesh.netStats().messages, 0u);
+    EXPECT_EQ(mesh.netStats().flitHops, 0u);
+}
+
+} // namespace
+} // namespace protozoa

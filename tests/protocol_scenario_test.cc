@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Replays of the paper's worked examples:
+ *  - Fig. 1  OpenMP counter false sharing under all four protocols,
+ *  - Fig. 4  GETX with a remote variable-granularity owner,
+ *  - Fig. 7  Protozoa-MW write miss with overlapping/non-overlapping
+ *            dirty sharers and an overlapping reader,
+ *  - Sec. 3.5 Protozoa-SW+MR single-writer revocation semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol_driver.hh"
+
+namespace protozoa {
+namespace {
+
+constexpr Addr kRegion = 0x2000;   // home tile 8
+
+SystemConfig
+wordCfg(ProtocolKind protocol)
+{
+    SystemConfig cfg;
+    cfg.protocol = protocol;
+    cfg.predictor = PredictorKind::WordOnly;
+    return cfg;
+}
+
+Addr
+word(unsigned w)
+{
+    return kRegion + w * kWordBytes;
+}
+
+// Fig. 1: each core read-modify-writes its own word of one region.
+// MESI/SW ping-pong; MW caches all eight writers concurrently.
+TEST(PaperScenario, Fig1FalseSharedCounters)
+{
+    auto missesFor = [](ProtocolKind protocol) {
+        ProtocolDriver d(wordCfg(protocol));
+        for (unsigned iter = 0; iter < 50; ++iter) {
+            for (CoreId c = 0; c < 8; ++c) {
+                d.load(c, word(c), 0x100);
+                d.store(c, word(c), iter * 8 + c, 0x104);
+            }
+        }
+        d.expectClean();
+        RunStats stats = d.sys.report();
+        return stats.l1.misses;
+    };
+
+    const auto mesi = missesFor(ProtocolKind::MESI);
+    const auto sw = missesFor(ProtocolKind::ProtozoaSW);
+    const auto mw = missesFor(ProtocolKind::ProtozoaMW);
+
+    // MESI and SW invalidate at region granularity: every counter
+    // update misses. MW converges to zero misses after warmup.
+    EXPECT_GT(mesi, 8u * 50u / 2u);
+    EXPECT_GT(sw, 8u * 50u / 2u);
+    EXPECT_LE(mw, 8u * 3u);   // cold + cross-invalidation warmup only
+}
+
+// Under MW the Fig. 1 counters stay resident in M at all eight cores
+// at the same time: word-granularity SWMR.
+TEST(PaperScenario, Fig1ConcurrentDisjointWriters)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaMW));
+    for (CoreId c = 0; c < 8; ++c)
+        d.store(c, word(c), c);
+
+    for (CoreId c = 0; c < 8; ++c)
+        EXPECT_EQ(d.stateOf(c, word(c)), BlockState::M) << c;
+
+    const auto view = d.dirView(word(0));
+    EXPECT_EQ(view.writers.count(), 8u);
+    d.expectClean();
+}
+
+// Fig. 4: Core-1 caches dirty words 2-6; Core-0 issues GETX 0-3. The
+// overlapping dirty sharer writes back and invalidates; the directory
+// patches and supplies the requested words.
+TEST(PaperScenario, Fig4WriteMissWithRemoteOwner)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaSW;
+    cfg.predictor = PredictorKind::Fixed;
+    cfg.fixedFetchWords = 4;   // requests come in aligned 4-word runs
+    ProtocolDriver d(cfg);
+
+    // Core-1 dirties words 4-7 (one fixed 4-word block).
+    d.store(1, word(5), 55, 0x200);
+    EXPECT_EQ(d.stateOf(1, word(4)), BlockState::M);
+
+    // Core-0 write miss for words 0-3: same region, disjoint words.
+    d.store(0, word(2), 22, 0x204);
+
+    // Protozoa-SW keeps a single writer per region: Core-1 fully
+    // invalidated, its dirty data safely at the L2.
+    EXPECT_EQ(d.stateOf(1, word(5)), std::nullopt);
+    EXPECT_EQ(d.stateOf(0, word(2)), BlockState::M);
+    const auto view = d.dirView(word(0));
+    EXPECT_TRUE(view.writers.only(0));
+
+    EXPECT_EQ(d.load(2, word(5)), 55u);
+    EXPECT_EQ(d.load(2, word(2)), 22u);
+    d.expectClean();
+}
+
+// Fig. 7: Core-1 overlapping dirty sharer, Core-2 overlapping
+// read-only sharer, Core-3 non-overlapping dirty sharer; Core-0
+// issues the write miss.
+TEST(PaperScenario, Fig7MwWriteMissResponses)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaMW));
+
+    d.store(1, word(3), 33, 0x300);   // overlapping dirty sharer
+    d.load(2, word(3), 0x304);        // overlapping read-only sharer
+    d.store(3, word(7), 77, 0x308);   // non-overlapping dirty sharer
+    EXPECT_EQ(d.stateOf(1, word(3)), BlockState::S);  // downgraded by 2
+
+    d.store(0, word(3), 99, 0x30c);   // the Fig. 7 GETX
+
+    // Overlapping sharers lost their copies...
+    EXPECT_EQ(d.stateOf(1, word(3)), std::nullopt);
+    EXPECT_EQ(d.stateOf(2, word(3)), std::nullopt);
+    // ...the non-overlapping dirty sharer kept word 7 (ACK-S)...
+    EXPECT_EQ(d.stateOf(3, word(7)), BlockState::M);
+    // ...and the requester writes word 3.
+    EXPECT_EQ(d.stateOf(0, word(3)), BlockState::M);
+
+    const auto view = d.dirView(word(0));
+    EXPECT_TRUE(view.writers.test(0));
+    EXPECT_TRUE(view.writers.test(3));
+    EXPECT_FALSE(view.writers.test(1));
+    EXPECT_FALSE(view.readers.test(2));
+
+    EXPECT_EQ(d.load(5, word(3)), 99u);
+    EXPECT_EQ(d.load(5, word(7)), 77u);
+    d.expectClean();
+}
+
+// Sec. 3.5: on a write miss, Protozoa-SW+MR revokes the existing
+// writer's permission even when non-overlapping (it stays a sharer),
+// so subsequent readers need not ping it.
+TEST(PaperScenario, SwMrRevokesNonOverlappingWriter)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaSWMR));
+
+    d.store(3, word(7), 77);
+    d.store(0, word(3), 33);   // disjoint write
+
+    // Core-3 keeps its word as a clean sharer (data retained)...
+    EXPECT_EQ(d.stateOf(3, word(7)), BlockState::S);
+    const auto view = d.dirView(word(0));
+    EXPECT_TRUE(view.writers.only(0));    // single writer restored
+    EXPECT_TRUE(view.readers.test(3));
+
+    // ...so a reader of word 7 is served without disturbing Core-3.
+    EXPECT_EQ(d.load(5, word(7)), 77u);
+    EXPECT_EQ(d.stateOf(3, word(7)), BlockState::S);
+    d.expectClean();
+}
+
+// Sec. 3.5 contrast: SW+MR allows non-overlapping readers to coexist
+// with the single writer.
+TEST(PaperScenario, SwMrReadersCoexistWithWriter)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaSWMR));
+
+    d.load(1, word(0));
+    d.load(2, word(1));
+    d.store(0, word(5), 55);   // disjoint write: readers survive
+
+    EXPECT_EQ(d.stateOf(1, word(0)), BlockState::S);
+    EXPECT_EQ(d.stateOf(2, word(1)), BlockState::S);
+    EXPECT_EQ(d.stateOf(0, word(5)), BlockState::M);
+    d.expectClean();
+}
+
+// The same pattern under Protozoa-SW kills the readers (region-
+// granularity coherence).
+TEST(PaperScenario, SwInvalidatesDisjointReaders)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaSW));
+
+    d.load(1, word(0));
+    d.load(2, word(1));
+    d.store(0, word(5), 55);
+
+    EXPECT_EQ(d.stateOf(1, word(0)), std::nullopt);
+    EXPECT_EQ(d.stateOf(2, word(1)), std::nullopt);
+    d.expectClean();
+}
+
+// MW truly enforces word-granularity SWMR: writes to the same word
+// still serialize through the directory.
+TEST(PaperScenario, MwTrueSharingStillSerializes)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaMW));
+    d.store(0, word(4), 1);
+    d.store(1, word(4), 2);
+    EXPECT_EQ(d.stateOf(0, word(4)), std::nullopt);
+    EXPECT_EQ(d.stateOf(1, word(4)), BlockState::M);
+    EXPECT_EQ(d.load(0, word(4)), 2u);
+    d.expectClean();
+}
+
+// Fig. 11 census plumbing: MW directory records multi-owner accesses.
+TEST(PaperScenario, OwnedCensusCountsMultiOwner)
+{
+    ProtocolDriver d(wordCfg(ProtocolKind::ProtozoaMW));
+    d.store(0, word(0), 1);
+    d.store(1, word(1), 2);
+    d.store(2, word(2), 3);
+
+    const auto &stats = d.sys.dir(d.homeOf(word(0))).stats;
+    EXPECT_GT(stats.ownedOneOwnerOnly + stats.ownedMultiOwner, 0u);
+    EXPECT_GT(stats.ownedMultiOwner, 0u);
+}
+
+} // namespace
+} // namespace protozoa

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the fetch-granularity predictors, in particular the
+ * Amoeba PC-indexed spatial predictor's learning behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/spatial_predictor.hh"
+
+namespace protozoa {
+namespace {
+
+constexpr unsigned kRegionWords = 8;
+
+TEST(FullRegionPredictor, AlwaysFullRegion)
+{
+    FullRegionPredictor p;
+    EXPECT_EQ(p.predict(0x1, 3, WordRange(3, 3), kRegionWords),
+              WordRange(0, 7));
+    EXPECT_EQ(p.predict(0x2, 0, WordRange(0, 0), 4), WordRange(0, 3));
+}
+
+TEST(FixedPredictor, AlignedChunks)
+{
+    FixedPredictor p(4);
+    EXPECT_EQ(p.predict(0, 1, WordRange(1, 1), kRegionWords),
+              WordRange(0, 3));
+    EXPECT_EQ(p.predict(0, 5, WordRange(5, 5), kRegionWords),
+              WordRange(4, 7));
+}
+
+TEST(FixedPredictor, ClampsToRegion)
+{
+    FixedPredictor p(16);
+    EXPECT_EQ(p.predict(0, 2, WordRange(2, 2), kRegionWords),
+              WordRange(0, 7));
+}
+
+TEST(WordOnlyPredictor, ExactlyTheNeed)
+{
+    WordOnlyPredictor p;
+    EXPECT_EQ(p.predict(0, 6, WordRange(6, 6), kRegionWords),
+              WordRange(6, 6));
+}
+
+TEST(PcSpatialPredictor, ColdPredictsFullRegion)
+{
+    PcSpatialPredictor p;
+    EXPECT_EQ(p.predict(0x40, 3, WordRange(3, 3), kRegionWords),
+              WordRange(0, 7));
+}
+
+TEST(PcSpatialPredictor, LearnsSingleWordPattern)
+{
+    PcSpatialPredictor p;
+    p.learn(0x40, 3, WordMask(1) << 3, WordRange(0, 7));
+    EXPECT_EQ(p.predict(0x40, 5, WordRange(5, 5), kRegionWords),
+              WordRange(5, 5));
+}
+
+TEST(PcSpatialPredictor, LearnsForwardRuns)
+{
+    PcSpatialPredictor p;
+    // Block anchored at word 0, words 0..3 touched.
+    p.learn(0x80, 0, 0b1111, WordRange(0, 7));
+    EXPECT_EQ(p.predict(0x80, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 3));
+    // Prediction is anchored at the miss word.
+    EXPECT_EQ(p.predict(0x80, 4, WordRange(4, 4), kRegionWords),
+              WordRange(4, 7));
+}
+
+TEST(PcSpatialPredictor, LearnsBackwardExtent)
+{
+    PcSpatialPredictor p;
+    // Miss word 5; words 2..5 touched => left extent 3.
+    p.learn(0x90, 5, 0b111100, WordRange(0, 7));
+    EXPECT_EQ(p.predict(0x90, 5, WordRange(5, 5), kRegionWords),
+              WordRange(2, 5));
+}
+
+TEST(PcSpatialPredictor, GrowsImmediately)
+{
+    PcSpatialPredictor p;
+    p.learn(0xa0, 0, 0b1, WordRange(0, 0));
+    EXPECT_EQ(p.predict(0xa0, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 0));
+    p.learn(0xa0, 0, 0b11111111, WordRange(0, 7));
+    EXPECT_EQ(p.predict(0xa0, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 7));
+}
+
+TEST(PcSpatialPredictor, ShrinksByEwma)
+{
+    PcSpatialPredictor p;
+    p.learn(0xb0, 0, 0xff, WordRange(0, 7));   // right extent 7
+    p.learn(0xb0, 0, 0b1, WordRange(0, 7));    // right extent 0
+    // EWMA: (7 + 0) / 2 = 3.
+    EXPECT_EQ(p.predict(0xb0, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 3));
+    p.learn(0xb0, 0, 0b1, WordRange(0, 3));
+    p.learn(0xb0, 0, 0b1, WordRange(0, 1));
+    p.learn(0xb0, 0, 0b1, WordRange(0, 0));
+    EXPECT_EQ(p.predict(0xb0, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 0));
+}
+
+TEST(PcSpatialPredictor, UntouchedDeathLearnsMinimal)
+{
+    PcSpatialPredictor p;
+    // Block died without any touch (e.g. invalidated immediately).
+    p.learn(0xc0, 4, 0, WordRange(0, 7));
+    EXPECT_EQ(p.predict(0xc0, 4, WordRange(4, 4), kRegionWords),
+              WordRange(4, 4));
+}
+
+TEST(PcSpatialPredictor, PredictionAlwaysCoversNeed)
+{
+    PcSpatialPredictor p;
+    p.learn(0xd0, 7, WordMask(1) << 7, WordRange(0, 7));
+    // Learned 0/0 extents, but the need must still be covered.
+    EXPECT_EQ(p.predict(0xd0, 2, WordRange(2, 2), kRegionWords),
+              WordRange(2, 2));
+}
+
+TEST(PcSpatialPredictor, ClampsAtRegionEdges)
+{
+    PcSpatialPredictor p;
+    p.learn(0xe0, 4, 0xff, WordRange(0, 7));   // extents 4 left, 3 right
+    // Miss near the left edge: left extent clamps to 0.
+    EXPECT_EQ(p.predict(0xe0, 1, WordRange(1, 1), kRegionWords),
+              WordRange(0, 4));
+    // Miss near the right edge: right extent clamps to 7.
+    EXPECT_EQ(p.predict(0xe0, 6, WordRange(6, 6), kRegionWords),
+              WordRange(2, 7));
+}
+
+TEST(PcSpatialPredictor, DistinctPcsAreIndependent)
+{
+    PcSpatialPredictor p;
+    p.learn(0x100, 0, 0b1, WordRange(0, 7));
+    EXPECT_EQ(p.predict(0x100, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 0));
+    // A different PC is still cold.
+    EXPECT_EQ(p.predict(0x200, 0, WordRange(0, 0), kRegionWords),
+              WordRange(0, 7));
+}
+
+TEST(MakePredictor, FactorySelectsPolicy)
+{
+    SystemConfig cfg;
+    cfg.predictor = PredictorKind::FullRegion;
+    EXPECT_NE(dynamic_cast<FullRegionPredictor *>(
+                  makePredictor(cfg).get()),
+              nullptr);
+    cfg.predictor = PredictorKind::Fixed;
+    EXPECT_NE(dynamic_cast<FixedPredictor *>(makePredictor(cfg).get()),
+              nullptr);
+    cfg.predictor = PredictorKind::PcSpatial;
+    EXPECT_NE(dynamic_cast<PcSpatialPredictor *>(
+                  makePredictor(cfg).get()),
+              nullptr);
+    cfg.predictor = PredictorKind::WordOnly;
+    EXPECT_NE(dynamic_cast<WordOnlyPredictor *>(
+                  makePredictor(cfg).get()),
+              nullptr);
+}
+
+} // namespace
+} // namespace protozoa

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for stats containers, derived metrics, and the trend
+ * arrows used to render Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "sim/stats_report.hh"
+
+namespace protozoa {
+namespace {
+
+TEST(L1Stats, MergeAccumulates)
+{
+    L1Stats a, b;
+    a.loads = 10;
+    a.misses = 2;
+    a.usedDataBytes = 100;
+    a.ctrlBytes[0] = 8;
+    a.blockSizeHist[1] = 3;
+    b.loads = 5;
+    b.misses = 1;
+    b.unusedDataBytes = 50;
+    b.ctrlBytes[0] = 16;
+    b.blockSizeHist[8] = 2;
+
+    a.merge(b);
+    EXPECT_EQ(a.loads, 15u);
+    EXPECT_EQ(a.misses, 3u);
+    EXPECT_EQ(a.usedDataBytes, 100u);
+    EXPECT_EQ(a.unusedDataBytes, 50u);
+    EXPECT_EQ(a.dataBytes(), 150u);
+    EXPECT_EQ(a.ctrlBytes[0], 24u);
+    EXPECT_EQ(a.blockSizeHist[1], 3u);
+    EXPECT_EQ(a.blockSizeHist[8], 2u);
+}
+
+TEST(L1Stats, CtrlBytesTotalSumsAllClasses)
+{
+    L1Stats s;
+    for (unsigned i = 0; i < kNumCtrlClasses; ++i)
+        s.ctrlBytes[i] = i + 1;
+    EXPECT_EQ(s.ctrlBytesTotal(), 1u + 2 + 3 + 4 + 5 + 6);
+    EXPECT_EQ(s.totalBytes(), s.ctrlBytesTotal());
+}
+
+TEST(RunStats, MpkiComputation)
+{
+    RunStats r;
+    r.l1.misses = 50;
+    r.instructions = 10'000;
+    EXPECT_DOUBLE_EQ(r.mpki(), 5.0);
+    r.instructions = 0;
+    EXPECT_DOUBLE_EQ(r.mpki(), 0.0);
+}
+
+TEST(RunStats, UsedDataFraction)
+{
+    RunStats r;
+    r.l1.usedDataBytes = 30;
+    r.l1.unusedDataBytes = 70;
+    EXPECT_DOUBLE_EQ(r.usedDataFraction(), 0.3);
+
+    RunStats empty;
+    EXPECT_DOUBLE_EQ(empty.usedDataFraction(), 1.0);
+}
+
+TEST(TrafficBreakdown, SplitsControlAndData)
+{
+    RunStats r;
+    r.l1.usedDataBytes = 100;
+    r.l1.unusedDataBytes = 60;
+    r.l1.ctrlBytes[0] = 40;
+    const TrafficBreakdown tb = trafficBreakdown(r);
+    EXPECT_DOUBLE_EQ(tb.usedData, 100.0);
+    EXPECT_DOUBLE_EQ(tb.unusedData, 60.0);
+    EXPECT_DOUBLE_EQ(tb.control, 40.0);
+    EXPECT_DOUBLE_EQ(tb.total(), 200.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Mean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(TrendArrow, Bands)
+{
+    // Paper Table 1 bands: = within 10%, ^ 10-33%, ^^ >33%, ^^^ >50%.
+    EXPECT_EQ(trendArrow(100, 100), "=");
+    EXPECT_EQ(trendArrow(100, 109), "=");
+    EXPECT_EQ(trendArrow(100, 120), "^");
+    EXPECT_EQ(trendArrow(100, 140), "^^");
+    EXPECT_EQ(trendArrow(100, 160), "^^^");
+    EXPECT_EQ(trendArrow(100, 85), "v");
+    EXPECT_EQ(trendArrow(100, 50), "vv");
+    EXPECT_EQ(trendArrow(0, 0), "=");
+    EXPECT_EQ(trendArrow(0, 5), "++");
+}
+
+TEST(TextTable, FormatsAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22222"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Every row has the same line length (fixed-width columns).
+    std::istringstream is(out);
+    std::string line;
+    std::vector<std::size_t> lens;
+    while (std::getline(is, line))
+        lens.push_back(line.size());
+    ASSERT_GE(lens.size(), 4u);
+}
+
+TEST(TextTable, HelpersFormatNumbers)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.5), "50%");
+    EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+}
+
+TEST(CtrlClassNames, Stable)
+{
+    EXPECT_STREQ(ctrlClassName(CtrlClass::Req), "REQ");
+    EXPECT_STREQ(ctrlClassName(CtrlClass::Fwd), "FWD");
+    EXPECT_STREQ(ctrlClassName(CtrlClass::Inv), "INV");
+    EXPECT_STREQ(ctrlClassName(CtrlClass::Ack), "ACK");
+    EXPECT_STREQ(ctrlClassName(CtrlClass::Nack), "NACK");
+    EXPECT_STREQ(ctrlClassName(CtrlClass::DataHdr), "DHDR");
+}
+
+} // namespace
+} // namespace protozoa

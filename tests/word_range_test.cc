@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the WordRange interval algebra that every protocol
+ * decision (overlap checks, probe ranges, clipping) builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/word_range.hh"
+
+namespace protozoa {
+namespace {
+
+TEST(WordRange, DefaultIsEmpty)
+{
+    WordRange r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.words(), 0u);
+    EXPECT_EQ(r.bytes(), 0u);
+    EXPECT_EQ(r.mask(), 0u);
+    EXPECT_FALSE(r.contains(0));
+}
+
+TEST(WordRange, SingleWord)
+{
+    WordRange r(3, 3);
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.words(), 1u);
+    EXPECT_EQ(r.bytes(), 8u);
+    EXPECT_TRUE(r.contains(3));
+    EXPECT_FALSE(r.contains(2));
+    EXPECT_FALSE(r.contains(4));
+    EXPECT_EQ(r.mask(), 0b1000u);
+}
+
+TEST(WordRange, FullRegion)
+{
+    WordRange r = WordRange::full(8);
+    EXPECT_EQ(r.start, 0u);
+    EXPECT_EQ(r.end, 7u);
+    EXPECT_EQ(r.words(), 8u);
+    EXPECT_EQ(r.mask(), 0xffu);
+}
+
+TEST(WordRange, FullRegionSixteenWords)
+{
+    WordRange r = WordRange::full(16);
+    EXPECT_EQ(r.words(), 16u);
+    EXPECT_EQ(r.mask(), 0xffffu);
+}
+
+TEST(WordRange, OverlapCases)
+{
+    WordRange a(2, 5);
+    EXPECT_TRUE(a.overlaps(WordRange(5, 7)));     // touch at edge
+    EXPECT_TRUE(a.overlaps(WordRange(0, 2)));     // touch at other edge
+    EXPECT_TRUE(a.overlaps(WordRange(3, 4)));     // inside
+    EXPECT_TRUE(a.overlaps(WordRange(0, 7)));     // superset
+    EXPECT_FALSE(a.overlaps(WordRange(6, 7)));    // disjoint right
+    EXPECT_FALSE(a.overlaps(WordRange(0, 1)));    // disjoint left
+    EXPECT_FALSE(a.overlaps(WordRange()));        // empty
+    EXPECT_FALSE(WordRange().overlaps(a));
+}
+
+TEST(WordRange, CoversCases)
+{
+    WordRange a(2, 5);
+    EXPECT_TRUE(a.covers(WordRange(2, 5)));
+    EXPECT_TRUE(a.covers(WordRange(3, 4)));
+    EXPECT_FALSE(a.covers(WordRange(1, 5)));
+    EXPECT_FALSE(a.covers(WordRange(2, 6)));
+    EXPECT_FALSE(a.covers(WordRange()));
+}
+
+TEST(WordRange, Intersect)
+{
+    WordRange a(2, 5);
+    EXPECT_EQ(a.intersect(WordRange(4, 7)), WordRange(4, 5));
+    EXPECT_EQ(a.intersect(WordRange(0, 3)), WordRange(2, 3));
+    EXPECT_TRUE(a.intersect(WordRange(6, 7)).empty());
+    EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(WordRange, Span)
+{
+    WordRange a(2, 3);
+    EXPECT_EQ(a.span(WordRange(5, 6)), WordRange(2, 6));
+    EXPECT_EQ(a.span(WordRange()), a);
+    EXPECT_EQ(WordRange().span(a), a);
+    EXPECT_EQ(a.span(WordRange(0, 1)), WordRange(0, 3));
+}
+
+TEST(WordRange, EqualityTreatsAllEmptyAsEqual)
+{
+    EXPECT_EQ(WordRange(), WordRange(5, 2));
+    EXPECT_EQ(WordRange(1, 4), WordRange(1, 4));
+    EXPECT_FALSE(WordRange(1, 4) == WordRange(1, 5));
+}
+
+TEST(WordRange, ToString)
+{
+    EXPECT_EQ(WordRange(1, 4).toString(), "[1-4]");
+    EXPECT_EQ(WordRange().toString(), "[empty]");
+}
+
+TEST(ClipAgainst, NoOverlapReturnsPrediction)
+{
+    WordRange pred(0, 7);
+    WordRange need(2, 2);
+    // Obstacle outside the prediction: nothing to do.
+    EXPECT_EQ(clipAgainst(WordRange(0, 3), need, WordRange(5, 7)),
+              WordRange(0, 3));
+    (void)pred;
+}
+
+TEST(ClipAgainst, ObstacleRightOfNeed)
+{
+    EXPECT_EQ(clipAgainst(WordRange(0, 7), WordRange(2, 2),
+                          WordRange(5, 6)),
+              WordRange(0, 4));
+}
+
+TEST(ClipAgainst, ObstacleLeftOfNeed)
+{
+    EXPECT_EQ(clipAgainst(WordRange(0, 7), WordRange(5, 5),
+                          WordRange(1, 2)),
+              WordRange(3, 7));
+}
+
+TEST(ClipAgainst, AdjacentObstaclesClipBothSides)
+{
+    WordRange pred(0, 7);
+    pred = clipAgainst(pred, WordRange(3, 3), WordRange(0, 1));
+    pred = clipAgainst(pred, WordRange(3, 3), WordRange(6, 7));
+    EXPECT_EQ(pred, WordRange(2, 5));
+}
+
+TEST(ClipAgainst, TightestClipLeavesOnlyNeed)
+{
+    WordRange pred(0, 7);
+    pred = clipAgainst(pred, WordRange(4, 4), WordRange(3, 3));
+    pred = clipAgainst(pred, WordRange(4, 4), WordRange(5, 5));
+    EXPECT_EQ(pred, WordRange(4, 4));
+}
+
+// Property sweep: clipping always preserves the need and never
+// overlaps the obstacle.
+TEST(ClipAgainst, PropertySweep)
+{
+    for (unsigned ps = 0; ps < 8; ++ps) {
+        for (unsigned pe = ps; pe < 8; ++pe) {
+            for (unsigned n = ps; n <= pe; ++n) {
+                for (unsigned os = 0; os < 8; ++os) {
+                    for (unsigned oe = os; oe < 8; ++oe) {
+                        WordRange pred(ps, pe);
+                        WordRange need(n, n);
+                        WordRange obst(os, oe);
+                        if (obst.overlaps(need))
+                            continue;
+                        WordRange out = clipAgainst(pred, need, obst);
+                        EXPECT_TRUE(out.covers(need));
+                        EXPECT_FALSE(out.overlaps(obst));
+                        EXPECT_TRUE(pred.covers(out));
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace protozoa

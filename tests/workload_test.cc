@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the workload archetypes and the 28 paper-benchmark
+ * profiles: address-pattern contracts and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "workload/archetypes.hh"
+#include "workload/benchmarks.hh"
+
+namespace protozoa {
+namespace {
+
+std::vector<TraceRecord>
+drainTrace(TraceSource &src)
+{
+    std::vector<TraceRecord> out;
+    TraceRecord rec;
+    while (src.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+TEST(TraceBuilder, BuildsPerCoreStreams)
+{
+    TraceBuilder tb(4, 1);
+    tb.load(0, 0x100, 0x10);
+    tb.store(2, 0x207, 0x20, 5);
+    Workload wl = tb.build();
+    ASSERT_EQ(wl.size(), 4u);
+
+    auto t0 = drainTrace(*wl[0]);
+    ASSERT_EQ(t0.size(), 1u);
+    EXPECT_EQ(t0[0].addr, 0x100u);
+    EXPECT_FALSE(t0[0].isWrite);
+
+    auto t2 = drainTrace(*wl[2]);
+    ASSERT_EQ(t2.size(), 1u);
+    EXPECT_EQ(t2[0].addr, 0x200u);   // word aligned
+    EXPECT_TRUE(t2[0].isWrite);
+    EXPECT_EQ(t2[0].gapInstrs, 5u);
+
+    EXPECT_TRUE(drainTrace(*wl[1]).empty());
+}
+
+TEST(Archetype, FalseShareCountersTouchDisjointWords)
+{
+    TraceBuilder tb(8, 1);
+    genFalseShareCounters(tb, 8, 0x1000, 10, 1, 2, 0x40);
+    Workload wl = tb.build();
+    for (unsigned c = 0; c < 8; ++c) {
+        auto recs = drainTrace(*wl[c]);
+        ASSERT_EQ(recs.size(), 20u);   // load+store per iteration
+        for (const auto &r : recs)
+            EXPECT_EQ(r.addr, 0x1000u + c * kWordBytes);
+    }
+}
+
+TEST(Archetype, PrivateStreamStaysInOwnArena)
+{
+    TraceBuilder tb(4, 1);
+    genPrivateStream(tb, 4, 0x10000, 10, 8, 4, 0.5, 2, 0x80, 2);
+    Workload wl = tb.build();
+    const Addr arena = 10 * 8 * kWordBytes;
+    for (unsigned c = 0; c < 4; ++c) {
+        auto recs = drainTrace(*wl[c]);
+        EXPECT_EQ(recs.size(), 2u * 10u * 4u);   // passes*elems*touch
+        for (const auto &r : recs) {
+            EXPECT_GE(r.addr, 0x10000u + c * arena);
+            EXPECT_LT(r.addr, 0x10000u + (c + 1) * arena);
+        }
+    }
+}
+
+TEST(Archetype, HistogramPrefersInterleavedBuckets)
+{
+    TraceBuilder tb(4, 1);
+    genHistogram(tb, 4, 0x100000, 0x200000, 200, 64, 1.0, 2, 0xc0);
+    Workload wl = tb.build();
+    for (unsigned c = 0; c < 4; ++c) {
+        auto recs = drainTrace(*wl[c]);
+        for (const auto &r : recs) {
+            if (r.addr < 0x200000)
+                continue;   // private input read
+            const unsigned bucket =
+                static_cast<unsigned>((r.addr - 0x200000) / kWordBytes);
+            EXPECT_EQ(bucket % 4, c);   // core-interleaved words
+        }
+    }
+}
+
+TEST(Archetype, ProducerConsumerReadsPredecessor)
+{
+    TraceBuilder tb(4, 1);
+    genProducerConsumer(tb, 4, 0x300000, 2, 8, 3, 2, 1, 2, 0x100);
+    Workload wl = tb.build();
+    const Addr buf_bytes = 2 * 8 * kWordBytes;
+    for (unsigned c = 0; c < 4; ++c) {
+        auto recs = drainTrace(*wl[c]);
+        const unsigned producer = (c + 3) % 4;
+        for (const auto &r : recs) {
+            const unsigned owner = static_cast<unsigned>(
+                (r.addr - 0x300000) / buf_bytes);
+            if (r.isWrite)
+                EXPECT_EQ(owner, c);
+            else
+                EXPECT_EQ(owner, producer);
+        }
+    }
+}
+
+TEST(Archetype, StencilSharesOnlyBoundaryRows)
+{
+    TraceBuilder tb(4, 1);
+    genStencil(tb, 4, 0x400000, 2, 8, 1, 2, 0x140);
+    Workload wl = tb.build();
+    // Core 1 owns rows 2,3; it may read rows 1..4 (neighbours).
+    auto recs = drainTrace(*wl[1]);
+    for (const auto &r : recs) {
+        const unsigned row = static_cast<unsigned>(
+            (r.addr - 0x400000) / (8 * kWordBytes));
+        if (r.isWrite) {
+            EXPECT_GE(row, 2u);
+            EXPECT_LE(row, 3u);
+        } else {
+            EXPECT_GE(row, 1u);
+            EXPECT_LE(row, 4u);
+        }
+    }
+}
+
+TEST(Archetype, MigratoryVisitsWholeObjects)
+{
+    TraceBuilder tb(2, 1);
+    genMigratory(tb, 2, 0x500000, 4, 8, 1, 2, 0x180);
+    Workload wl = tb.build();
+    auto recs = drainTrace(*wl[0]);
+    // Per object: 8 loads then 8 stores.
+    ASSERT_EQ(recs.size(), 4u * 16u);
+    for (unsigned obj = 0; obj < 4; ++obj) {
+        for (unsigned i = 0; i < 8; ++i)
+            EXPECT_FALSE(recs[obj * 16 + i].isWrite);
+        for (unsigned i = 8; i < 16; ++i)
+            EXPECT_TRUE(recs[obj * 16 + i].isWrite);
+    }
+}
+
+TEST(Archetype, IrregularRecordSizesAreDeterministic)
+{
+    TraceBuilder tb1(2, 7), tb2(2, 7);
+    genIrregular(tb1, 2, 0x600000, 1024, 0x700000, 512, 100, 0.5, 4,
+                 0.3, 2, 0x1c0);
+    genIrregular(tb2, 2, 0x600000, 1024, 0x700000, 512, 100, 0.5, 4,
+                 0.3, 2, 0x1c0);
+    Workload a = tb1.build(), b = tb2.build();
+    for (unsigned c = 0; c < 2; ++c) {
+        auto ra = drainTrace(*a[c]);
+        auto rb = drainTrace(*b[c]);
+        ASSERT_EQ(ra.size(), rb.size());
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+            EXPECT_EQ(ra[i].addr, rb[i].addr);
+            EXPECT_EQ(ra[i].isWrite, rb[i].isWrite);
+        }
+    }
+}
+
+TEST(Benchmarks, AllTwentyEightPresent)
+{
+    const auto &specs = paperBenchmarks();
+    EXPECT_EQ(specs.size(), 28u);
+    std::set<std::string> names;
+    for (const auto &spec : specs)
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), 28u);
+    EXPECT_TRUE(names.count("linear-regression"));
+    EXPECT_TRUE(names.count("apache"));
+    EXPECT_TRUE(names.count("x264"));
+}
+
+TEST(Benchmarks, EveryProfileFeedsEveryCore)
+{
+    SystemConfig cfg;
+    for (const auto &spec : paperBenchmarks()) {
+        Workload wl = spec.gen(cfg, 0.05);
+        ASSERT_EQ(wl.size(), cfg.numCores) << spec.name;
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            TraceRecord rec;
+            EXPECT_TRUE(wl[c]->next(rec))
+                << spec.name << " core " << c;
+            EXPECT_EQ(rec.addr, wordAlign(rec.addr));
+        }
+    }
+}
+
+TEST(Benchmarks, ProfilesAreDeterministic)
+{
+    SystemConfig cfg;
+    const auto &spec = findBenchmark("canneal");
+    Workload a = spec.gen(cfg, 0.1);
+    Workload b = spec.gen(cfg, 0.1);
+    auto ra = drainTrace(*a[3]);
+    auto rb = drainTrace(*b[3]);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(ra[i].addr, rb[i].addr);
+}
+
+TEST(Benchmarks, SeedChangesTheStream)
+{
+    SystemConfig cfg1, cfg2;
+    cfg2.seed = 999;
+    const auto &spec = findBenchmark("apache");
+    auto ra = drainTrace(*spec.gen(cfg1, 0.1)[0]);
+    auto rb = drainTrace(*spec.gen(cfg2, 0.1)[0]);
+    // Run lengths may differ (deterministic record sizes); compare
+    // the common prefix.
+    bool differs = ra.size() != rb.size();
+    const std::size_t n = std::min(ra.size(), rb.size());
+    for (std::size_t i = 0; i < n && !differs; ++i)
+        differs = ra[i].addr != rb[i].addr;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Benchmarks, ScaleGrowsTheTrace)
+{
+    SystemConfig cfg;
+    const auto &spec = findBenchmark("mat-mul");
+    auto small = drainTrace(*spec.gen(cfg, 0.1)[0]);
+    auto large = drainTrace(*spec.gen(cfg, 0.5)[0]);
+    EXPECT_GT(large.size(), 3 * small.size());
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(findBenchmark("no-such-benchmark"),
+                 "unknown benchmark");
+}
+
+} // namespace
+} // namespace protozoa
