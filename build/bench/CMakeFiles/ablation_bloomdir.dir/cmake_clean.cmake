@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bloomdir.dir/ablation_bloomdir.cc.o"
+  "CMakeFiles/ablation_bloomdir.dir/ablation_bloomdir.cc.o.d"
+  "ablation_bloomdir"
+  "ablation_bloomdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bloomdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_region.dir/ablation_region.cc.o"
+  "CMakeFiles/ablation_region.dir/ablation_region.cc.o.d"
+  "ablation_region"
+  "ablation_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

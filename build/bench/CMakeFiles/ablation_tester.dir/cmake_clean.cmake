@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tester.dir/ablation_tester.cc.o"
+  "CMakeFiles/ablation_tester.dir/ablation_tester.cc.o.d"
+  "ablation_tester"
+  "ablation_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

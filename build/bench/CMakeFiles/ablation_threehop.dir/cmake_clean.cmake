@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threehop.dir/ablation_threehop.cc.o"
+  "CMakeFiles/ablation_threehop.dir/ablation_threehop.cc.o.d"
+  "ablation_threehop"
+  "ablation_threehop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threehop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_control.dir/fig10_control.cc.o"
+  "CMakeFiles/fig10_control.dir/fig10_control.cc.o.d"
+  "fig10_control"
+  "fig10_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dirstate.dir/fig11_dirstate.cc.o"
+  "CMakeFiles/fig11_dirstate.dir/fig11_dirstate.cc.o.d"
+  "fig11_dirstate"
+  "fig11_dirstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dirstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

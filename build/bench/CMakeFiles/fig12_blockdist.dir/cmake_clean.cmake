@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_blockdist.dir/fig12_blockdist.cc.o"
+  "CMakeFiles/fig12_blockdist.dir/fig12_blockdist.cc.o.d"
+  "fig12_blockdist"
+  "fig12_blockdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_blockdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mpki.dir/fig13_mpki.cc.o"
+  "CMakeFiles/fig13_mpki.dir/fig13_mpki.cc.o.d"
+  "fig13_mpki"
+  "fig13_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_exectime.dir/fig14_exectime.cc.o"
+  "CMakeFiles/fig14_exectime.dir/fig14_exectime.cc.o.d"
+  "fig14_exectime"
+  "fig14_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_flithops.dir/fig15_flithops.cc.o"
+  "CMakeFiles/fig15_flithops.dir/fig15_flithops.cc.o.d"
+  "fig15_flithops"
+  "fig15_flithops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_flithops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_blocksize.dir/table1_blocksize.cc.o"
+  "CMakeFiles/table1_blocksize.dir/table1_blocksize.cc.o.d"
+  "table1_blocksize"
+  "table1_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

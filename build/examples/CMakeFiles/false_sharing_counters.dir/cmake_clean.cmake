@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_sharing_counters.dir/false_sharing_counters.cc.o"
+  "CMakeFiles/false_sharing_counters.dir/false_sharing_counters.cc.o.d"
+  "false_sharing_counters"
+  "false_sharing_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_sharing_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

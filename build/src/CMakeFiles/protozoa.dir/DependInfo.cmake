@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/amoeba_cache.cc" "src/CMakeFiles/protozoa.dir/cache/amoeba_cache.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/cache/amoeba_cache.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/protozoa.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/spatial_predictor.cc" "src/CMakeFiles/protozoa.dir/cache/spatial_predictor.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/cache/spatial_predictor.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/protozoa.dir/common/config.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/protozoa.dir/common/log.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/protozoa.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/word_range.cc" "src/CMakeFiles/protozoa.dir/common/word_range.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/common/word_range.cc.o.d"
+  "/root/repo/src/mem/golden_memory.cc" "src/CMakeFiles/protozoa.dir/mem/golden_memory.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/mem/golden_memory.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/protozoa.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/protocol/coherence_msg.cc" "src/CMakeFiles/protozoa.dir/protocol/coherence_msg.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/protocol/coherence_msg.cc.o.d"
+  "/root/repo/src/protocol/dir_controller.cc" "src/CMakeFiles/protozoa.dir/protocol/dir_controller.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/protocol/dir_controller.cc.o.d"
+  "/root/repo/src/protocol/l1_controller.cc" "src/CMakeFiles/protozoa.dir/protocol/l1_controller.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/protocol/l1_controller.cc.o.d"
+  "/root/repo/src/protozoa/protozoa.cc" "src/CMakeFiles/protozoa.dir/protozoa/protozoa.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/protozoa/protozoa.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "src/CMakeFiles/protozoa.dir/sim/core_model.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/sim/core_model.cc.o.d"
+  "/root/repo/src/sim/random_tester.cc" "src/CMakeFiles/protozoa.dir/sim/random_tester.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/sim/random_tester.cc.o.d"
+  "/root/repo/src/sim/stats_report.cc" "src/CMakeFiles/protozoa.dir/sim/stats_report.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/sim/stats_report.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/protozoa.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/sim/system.cc.o.d"
+  "/root/repo/src/workload/archetypes.cc" "src/CMakeFiles/protozoa.dir/workload/archetypes.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/workload/archetypes.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/protozoa.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/protozoa.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/protozoa.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/protozoa.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

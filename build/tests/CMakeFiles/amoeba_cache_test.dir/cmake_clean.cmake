@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_cache_test.dir/amoeba_cache_test.cc.o"
+  "CMakeFiles/amoeba_cache_test.dir/amoeba_cache_test.cc.o.d"
+  "amoeba_cache_test"
+  "amoeba_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

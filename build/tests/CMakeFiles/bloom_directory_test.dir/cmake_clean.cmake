@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_directory_test.dir/bloom_directory_test.cc.o"
+  "CMakeFiles/bloom_directory_test.dir/bloom_directory_test.cc.o.d"
+  "bloom_directory_test"
+  "bloom_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_unit_test.dir/controller_unit_test.cc.o"
+  "CMakeFiles/controller_unit_test.dir/controller_unit_test.cc.o.d"
+  "controller_unit_test"
+  "controller_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

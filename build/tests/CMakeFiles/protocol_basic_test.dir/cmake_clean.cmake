@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_basic_test.dir/protocol_basic_test.cc.o"
+  "CMakeFiles/protocol_basic_test.dir/protocol_basic_test.cc.o.d"
+  "protocol_basic_test"
+  "protocol_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

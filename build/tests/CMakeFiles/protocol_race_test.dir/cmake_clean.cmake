@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_race_test.dir/protocol_race_test.cc.o"
+  "CMakeFiles/protocol_race_test.dir/protocol_race_test.cc.o.d"
+  "protocol_race_test"
+  "protocol_race_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

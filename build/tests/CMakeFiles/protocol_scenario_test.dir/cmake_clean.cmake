@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_scenario_test.dir/protocol_scenario_test.cc.o"
+  "CMakeFiles/protocol_scenario_test.dir/protocol_scenario_test.cc.o.d"
+  "protocol_scenario_test"
+  "protocol_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_tester_test.dir/random_tester_test.cc.o"
+  "CMakeFiles/random_tester_test.dir/random_tester_test.cc.o.d"
+  "random_tester_test"
+  "random_tester_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_tester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_predictor_test.dir/spatial_predictor_test.cc.o"
+  "CMakeFiles/spatial_predictor_test.dir/spatial_predictor_test.cc.o.d"
+  "spatial_predictor_test"
+  "spatial_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threehop_test.dir/threehop_test.cc.o"
+  "CMakeFiles/threehop_test.dir/threehop_test.cc.o.d"
+  "threehop_test"
+  "threehop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threehop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_range_test.dir/word_range_test.cc.o"
+  "CMakeFiles/word_range_test.dir/word_range_test.cc.o.d"
+  "word_range_test"
+  "word_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
