@@ -4,8 +4,10 @@
  * sweeps over the 28-benchmark roster with progress reporting.
  *
  * Every harness honours PROTOZOA_SCALE (workload size multiplier,
- * default 1.0) so a quick smoke pass and a high-fidelity pass use the
- * same binaries.
+ * default 1.0) and PROTOZOA_JOBS (sweep worker threads, default
+ * hardware concurrency) so a quick smoke pass and a high-fidelity
+ * pass use the same binaries. Sweeps fan out through runSweep(); the
+ * row order — and every statistic — is identical to a serial run.
  */
 
 #ifndef PROTOZOA_BENCH_BENCH_UTIL_HH
@@ -58,27 +60,53 @@ struct ProtocolSweepRow
 };
 
 /**
- * Run every paper benchmark under the given protocols.
- * Progress goes to stderr so stdout stays a clean table.
+ * Run every paper benchmark under the given protocols, fanned across
+ * PROTOZOA_JOBS worker threads (one System per job; results land in
+ * deterministic row order). Progress and the kernel-health summary go
+ * to stderr so stdout stays a clean table.
  */
 inline std::vector<ProtocolSweepRow>
 sweepAllBenchmarks(const std::vector<ProtocolKind> &protocols,
                    double scale)
 {
+    const auto &specs = paperBenchmarks();
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size() * protocols.size());
+    for (const auto &spec : specs) {
+        for (ProtocolKind kind : protocols) {
+            SweepJob job;
+            job.bench = spec.name;
+            job.cfg.protocol = kind;
+            job.scale = scale;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    const unsigned workers = envJobs();
+    std::fprintf(stderr, "  sweep: %zu runs on %u worker thread(s)\n",
+                 jobs.size(), workers);
+    auto stats = runSweep(
+        jobs, workers, [](std::size_t, const SweepJob &job) {
+            std::fprintf(stderr, "  running %-18s %-8s...\n",
+                         job.bench.c_str(), shortName(job.cfg.protocol));
+        });
+
     std::vector<ProtocolSweepRow> rows;
-    for (const auto &spec : paperBenchmarks()) {
+    rows.reserve(specs.size());
+    KernelStats kernel;
+    std::size_t j = 0;
+    for (const auto &spec : specs) {
         ProtocolSweepRow row;
         row.bench = spec.name;
         for (ProtocolKind kind : protocols) {
-            std::fprintf(stderr, "  running %-18s %-8s...\n",
-                         spec.name.c_str(), shortName(kind));
-            SystemConfig cfg;
-            cfg.protocol = kind;
-            row.stats[static_cast<unsigned>(kind)] =
-                runBenchmark(cfg, spec.name, scale);
+            kernel.merge(stats[j].kernel);
+            row.stats[static_cast<unsigned>(kind)] = std::move(stats[j]);
+            ++j;
         }
         rows.push_back(std::move(row));
     }
+    std::fprintf(stderr, "  %s\n", kernelSummary(kernel).c_str());
     return rows;
 }
 

@@ -2,28 +2,169 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global-ordered queue of (cycle, sequence, callback) events.
- * Ties at the same cycle execute in scheduling order, which keeps the
- * simulation deterministic.
+ * Events are (cycle, sequence, callback) triples; ties at the same
+ * cycle execute in scheduling order, which keeps the simulation
+ * deterministic. Two pieces make the hot path allocation-free:
+ *
+ *  - EventCallback, a move-only callable with a large inline buffer.
+ *    Every callback the simulator schedules (mesh deliveries carrying a
+ *    CoherenceMsg, core steps, controller pipeline stages) fits inline;
+ *    oversized captures fall back to the heap transparently.
+ *
+ *  - A two-level calendar scheduler. Near-future events — almost all of
+ *    them: cache latencies, mesh hops, directory occupancy, the
+ *    300-cycle memory round trip — land in a power-of-two ring of
+ *    per-cycle FIFO buckets (O(1) schedule, O(1) amortized dispatch via
+ *    an occupancy bitmap). Far-future events spill to a small binary
+ *    heap of plain (cycle, seq, node) references and migrate into the
+ *    ring when their cycle comes due. Event nodes live in a pooled
+ *    free-list, so steady-state scheduling performs zero allocations.
+ *
+ * Ordering guarantee: events run in strictly ascending (cycle, seq)
+ * order regardless of which level they were scheduled into. A spilled
+ * event is always scheduled from a strictly earlier cycle than any
+ * ring event for the same target cycle (otherwise it would have been
+ * within the ring horizon), so prepending migrated spill events ahead
+ * of the resident bucket FIFO preserves global seq order exactly.
  */
 
 #ifndef PROTOZOA_COMMON_EVENT_QUEUE_HH
 #define PROTOZOA_COMMON_EVENT_QUEUE_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/log.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace protozoa {
 
+/**
+ * Move-only type-erased void() callable with inline small-buffer
+ * storage sized for the simulator's largest common capture (a mesh
+ * delivery closure holding a whole CoherenceMsg).
+ */
+class EventCallback
+{
+  public:
+    /** Inline capture budget; larger callables are heap-boxed. */
+    static constexpr std::size_t kInlineBytes = 120;
+
+    EventCallback() noexcept = default;
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, EventCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    EventCallback(F &&f)
+    {
+        if constexpr (sizeof(D) <= kInlineBytes &&
+                      alignof(D) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<D>) {
+            ::new (static_cast<void *>(buf)) D(std::forward<F>(f));
+            vt = &kInlineVtable<D>;
+        } else {
+            ::new (static_cast<void *>(buf)) D *(new D(std::forward<F>(f)));
+            vt = &kHeapVtable<D>;
+        }
+    }
+
+    EventCallback(EventCallback &&o) noexcept : vt(o.vt)
+    {
+        if (vt) {
+            vt->relocate(buf, o.buf);
+            o.vt = nullptr;
+        }
+    }
+
+    EventCallback &
+    operator=(EventCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            vt = o.vt;
+            if (vt) {
+                vt->relocate(buf, o.buf);
+                o.vt = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return vt != nullptr; }
+
+    void operator()() { vt->invoke(buf); }
+
+    /** True when the callable lives in the inline buffer (no heap). */
+    bool inlined() const { return vt != nullptr && vt->inlineStored; }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        /** Move storage from @p src to raw @p dst; leaves src dead. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool inlineStored;
+    };
+
+    template <typename T>
+    static T *
+    as(void *p)
+    {
+        return std::launder(reinterpret_cast<T *>(p));
+    }
+
+    template <typename D>
+    static constexpr VTable kInlineVtable = {
+        [](void *p) { (*as<D>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) D(std::move(*as<D>(src)));
+            as<D>(src)->~D();
+        },
+        [](void *p) { as<D>(p)->~D(); },
+        true,
+    };
+
+    template <typename D>
+    static constexpr VTable kHeapVtable = {
+        [](void *p) { (**as<D *>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) D *(*as<D *>(src));
+        },
+        [](void *p) { delete *as<D *>(p); },
+        false,
+    };
+
+    void
+    reset()
+    {
+        if (vt) {
+            vt->destroy(buf);
+            vt = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    const VTable *vt = nullptr;
+};
+
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /** Current simulated time. */
     Cycle now() const { return curCycle; }
@@ -32,7 +173,7 @@ class EventQueue
     void
     schedule(Cycle delay, Callback cb)
     {
-        events.push(Event{curCycle + delay, nextSeq++, std::move(cb)});
+        insert(curCycle + delay, std::move(cb));
     }
 
     /** Schedule @p cb at absolute cycle @p when (>= now). */
@@ -40,24 +181,44 @@ class EventQueue
     scheduleAt(Cycle when, Callback cb)
     {
         PROTO_ASSERT(when >= curCycle, "scheduling into the past");
-        events.push(Event{when, nextSeq++, std::move(cb)});
+        insert(when, std::move(cb));
     }
 
-    bool empty() const { return events.empty(); }
+    bool empty() const { return pending == 0; }
+
+    /** Events currently queued. */
+    std::uint64_t size() const { return pending; }
 
     /** Pop and run the next event. @return false when the queue is dry. */
     bool
     step()
     {
-        if (events.empty())
+        if (pending == 0)
             return false;
-        // Moving out of the priority queue requires a const_cast; the
-        // element is popped immediately afterwards so this is safe.
-        Event ev = std::move(const_cast<Event &>(events.top()));
-        events.pop();
-        PROTO_ASSERT(ev.when >= curCycle, "time went backwards");
-        curCycle = ev.when;
-        ev.cb();
+
+        Cycle c;
+        if (!nextRingCycle(c) || (!spill.empty() && spill.top().when <= c))
+            c = spill.top().when;
+        if (!spill.empty() && spill.top().when == c)
+            migrateSpill(c);
+
+        const unsigned b = static_cast<unsigned>(c) & kBucketMask;
+        const std::uint32_t n = bucketHead[b];
+        bucketHead[b] = pool[n].next;
+        if (bucketHead[b] == kNil) {
+            bucketTail[b] = kNil;
+            occupancy[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+        }
+
+        // Move the callback out before running it: the callback may
+        // schedule new events, which can grow the pool and invalidate
+        // references into it.
+        Callback cb = std::move(pool[n].cb);
+        releaseNode(n);
+        --pending;
+        ++kstats.eventsExecuted;
+        curCycle = c;
+        cb();
         return true;
     }
 
@@ -77,23 +238,168 @@ class EventQueue
         }
     }
 
+    /** Scheduler observability counters. */
+    const KernelStats &kernelStats() const { return kstats; }
+
+    /**
+     * Calendar-ring horizon in cycles: events at least this far in the
+     * future spill to the far-future heap. Exposed for the boundary
+     * property tests and the kernel micro-benchmark.
+     */
+    static constexpr unsigned kRingHorizon = 1u << 10;
+
   private:
-    struct Event
+    /** One bucket per cycle within the horizon (power of two). */
+    static constexpr unsigned kNumBuckets = kRingHorizon;
+    static constexpr unsigned kBucketMask = kNumBuckets - 1;
+    static constexpr std::uint32_t kNil = ~std::uint32_t(0);
+
+    struct Node
+    {
+        Cycle when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = kNil;
+        Callback cb;
+    };
+
+    /** Far-future reference; the payload stays in the node pool. */
+    struct SpillRef
     {
         Cycle when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t node;
 
         bool
-        operator>(const Event &o) const
+        operator>(const SpillRef &o) const
         {
             return when != o.when ? when > o.when : seq > o.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    void
+    insert(Cycle when, Callback cb)
+    {
+        const std::uint32_t n = acquireNode();
+        Node &node = pool[n];
+        node.when = when;
+        node.seq = nextSeq++;
+        node.next = kNil;
+        node.cb = std::move(cb);
+
+        if (when - curCycle < kNumBuckets) {
+            const unsigned b = static_cast<unsigned>(when) & kBucketMask;
+            if (bucketHead[b] == kNil) {
+                bucketHead[b] = bucketTail[b] = n;
+                occupancy[b >> 6] |= std::uint64_t(1) << (b & 63);
+            } else {
+                pool[bucketTail[b]].next = n;
+                bucketTail[b] = n;
+            }
+            ++kstats.bucketScheduled;
+        } else {
+            spill.push(SpillRef{when, node.seq, n});
+            ++kstats.heapScheduled;
+        }
+
+        ++pending;
+        ++kstats.eventsScheduled;
+        if (pending > kstats.maxQueueDepth)
+            kstats.maxQueueDepth = pending;
+    }
+
+    /**
+     * Earliest cycle with a non-empty ring bucket. All ring events lie
+     * within [curCycle, curCycle + kNumBuckets), so an occupancy-bitmap
+     * scan of one ring lap starting at curCycle's bucket finds it.
+     */
+    bool
+    nextRingCycle(Cycle &out) const
+    {
+        const unsigned base = static_cast<unsigned>(curCycle) & kBucketMask;
+        unsigned off = 0;
+        while (off < kNumBuckets) {
+            const unsigned idx = (base + off) & kBucketMask;
+            const unsigned bit = idx & 63;
+            const std::uint64_t word = occupancy[idx >> 6] >> bit;
+            if (word != 0) {
+                out = curCycle + off +
+                      static_cast<unsigned>(std::countr_zero(word));
+                return true;
+            }
+            off += 64 - bit;
+        }
+        return false;
+    }
+
+    /**
+     * Pull every spilled event due at cycle @p c into its bucket,
+     * *ahead* of resident ring events (spilled events always carry
+     * smaller seq numbers — see the file comment).
+     */
+    void
+    migrateSpill(Cycle c)
+    {
+        std::uint32_t head = kNil, tail = kNil;
+        while (!spill.empty() && spill.top().when == c) {
+            const std::uint32_t n = spill.top().node;
+            spill.pop();
+            pool[n].next = kNil;
+            if (head == kNil)
+                head = n;
+            else
+                pool[tail].next = n;
+            tail = n;
+        }
+        if (head == kNil)
+            return;
+
+        const unsigned b = static_cast<unsigned>(c) & kBucketMask;
+        if (bucketHead[b] == kNil) {
+            bucketHead[b] = head;
+            bucketTail[b] = tail;
+            occupancy[b >> 6] |= std::uint64_t(1) << (b & 63);
+        } else {
+            pool[tail].next = bucketHead[b];
+            bucketHead[b] = head;
+        }
+    }
+
+    std::uint32_t
+    acquireNode()
+    {
+        if (freeHead != kNil) {
+            const std::uint32_t n = freeHead;
+            freeHead = pool[n].next;
+            return n;
+        }
+        pool.emplace_back();
+        return static_cast<std::uint32_t>(pool.size() - 1);
+    }
+
+    void
+    releaseNode(std::uint32_t n)
+    {
+        pool[n].cb = Callback();
+        pool[n].next = freeHead;
+        freeHead = n;
+    }
+
+    std::vector<Node> pool;
+    std::uint32_t freeHead = kNil;
+    std::array<std::uint32_t, kNumBuckets> bucketHead = [] {
+        std::array<std::uint32_t, kNumBuckets> a{};
+        a.fill(kNil);
+        return a;
+    }();
+    std::array<std::uint32_t, kNumBuckets> bucketTail = bucketHead;
+    std::array<std::uint64_t, kNumBuckets / 64> occupancy{};
+    std::priority_queue<SpillRef, std::vector<SpillRef>, std::greater<>>
+        spill;
+
+    std::uint64_t pending = 0;
     Cycle curCycle = 0;
     std::uint64_t nextSeq = 0;
+    KernelStats kstats;
 };
 
 } // namespace protozoa

@@ -5,7 +5,7 @@
 
 namespace protozoa {
 
-bool debugTraceEnabled = false;
+std::atomic<bool> debugTraceEnabled{false};
 
 namespace {
 
@@ -60,7 +60,7 @@ inform(const char *fmt, ...)
 void
 dtrace(const char *fmt, ...)
 {
-    if (!debugTraceEnabled)
+    if (!debugTraceEnabled.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -12,6 +12,7 @@
 #ifndef PROTOZOA_COMMON_LOG_HH
 #define PROTOZOA_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -29,8 +30,12 @@ void warn(const char *fmt, ...)
 void inform(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Debug-trace control: when true, PROTO_DTRACE statements print. */
-extern bool debugTraceEnabled;
+/**
+ * Debug-trace control: when true, PROTO_DTRACE statements print.
+ * Atomic so parallel sweep workers may race a toggle without UB
+ * (trace lines themselves may still interleave).
+ */
+extern std::atomic<bool> debugTraceEnabled;
 
 /** Print a debug-trace line (no-op unless debugTraceEnabled). */
 void dtrace(const char *fmt, ...)

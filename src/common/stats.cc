@@ -70,6 +70,34 @@ NetStats::merge(const NetStats &o)
 }
 
 double
+KernelStats::bucketHitRate() const
+{
+    return eventsScheduled == 0
+        ? 1.0
+        : static_cast<double>(bucketScheduled) /
+              static_cast<double>(eventsScheduled);
+}
+
+double
+KernelStats::eventsPerSec() const
+{
+    return wallSeconds > 0.0
+        ? static_cast<double>(eventsExecuted) / wallSeconds
+        : 0.0;
+}
+
+void
+KernelStats::merge(const KernelStats &o)
+{
+    eventsScheduled += o.eventsScheduled;
+    eventsExecuted += o.eventsExecuted;
+    bucketScheduled += o.bucketScheduled;
+    heapScheduled += o.heapScheduled;
+    maxQueueDepth = std::max(maxQueueDepth, o.maxQueueDepth);
+    wallSeconds += o.wallSeconds;
+}
+
+double
 RunStats::mpki() const
 {
     return instructions == 0

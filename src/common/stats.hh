@@ -110,12 +110,39 @@ struct NetStats
     void merge(const NetStats &o);
 };
 
+/**
+ * Discrete-event kernel observability counters (scheduler health).
+ *
+ * Maintained by the EventQueue; wall-clock time is stamped by
+ * System::run(). `bucketScheduled` counts events that landed in the
+ * near-future calendar ring, `heapScheduled` those that spilled to the
+ * far-future heap — the ring should absorb almost everything.
+ */
+struct KernelStats
+{
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t bucketScheduled = 0;
+    std::uint64_t heapScheduled = 0;
+    std::uint64_t maxQueueDepth = 0;
+    /** Wall-clock seconds spent inside EventQueue::run(). */
+    double wallSeconds = 0.0;
+
+    /** Fraction of scheduled events absorbed by the calendar ring. */
+    double bucketHitRate() const;
+    /** Executed events per wall-clock second (0 when not timed). */
+    double eventsPerSec() const;
+
+    void merge(const KernelStats &o);
+};
+
 /** Whole-run aggregate produced by System::report(). */
 struct RunStats
 {
     L1Stats l1;
     DirStats dir;
     NetStats net;
+    KernelStats kernel;
     std::uint64_t instructions = 0;
     Cycle cycles = 0;
 

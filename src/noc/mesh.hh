@@ -16,7 +16,6 @@
 #define PROTOZOA_NOC_MESH_HH
 
 #include <cstdlib>
-#include <functional>
 #include <map>
 #include <utility>
 
@@ -63,7 +62,7 @@ class Mesh
      */
     Cycle
     send(unsigned src, unsigned dst, unsigned bytes,
-         std::function<void()> deliver)
+         EventQueue::Callback deliver)
     {
         const unsigned h = hops(src, dst);
         const unsigned flits = flitsFor(bytes);

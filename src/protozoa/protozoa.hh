@@ -25,6 +25,7 @@
 #include "common/stats.hh"
 #include "sim/random_tester.hh"
 #include "sim/stats_report.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "workload/archetypes.hh"
 #include "workload/benchmarks.hh"
@@ -47,6 +48,9 @@ RunStats runWorkload(const SystemConfig &cfg, Workload workload);
 
 /** Workload scale from the PROTOZOA_SCALE environment variable. */
 double envScale(double fallback = 1.0);
+
+// Sweep-parallelism control lives in sim/sweep_runner.hh: envJobs()
+// reads PROTOZOA_JOBS, runSweep() fans jobs across worker threads.
 
 } // namespace protozoa
 

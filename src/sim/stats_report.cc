@@ -1,6 +1,7 @@
 #include "sim/stats_report.hh"
 
 #include <cmath>
+#include <cstdio>
 
 namespace protozoa {
 
@@ -53,6 +54,20 @@ trendArrow(double before, double after)
     if (ratio >= 0.67)
         return "v";        // 10-33% decrease
     return "vv";           // > 33% decrease
+}
+
+std::string
+kernelSummary(const KernelStats &k)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "kernel: %llu events executed (%.1f%% bucket, "
+                  "max depth %llu, %.1f Mev/s)",
+                  static_cast<unsigned long long>(k.eventsExecuted),
+                  100.0 * k.bucketHitRate(),
+                  static_cast<unsigned long long>(k.maxQueueDepth),
+                  k.eventsPerSec() / 1e6);
+    return buf;
 }
 
 } // namespace protozoa

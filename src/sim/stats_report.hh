@@ -35,6 +35,14 @@ double mean(const std::vector<double> &values);
 /** Trend arrow in the style of Table 1: ≈ ↓ ⇓ ↑ ⇑ ⇑⇑. */
 std::string trendArrow(double before, double after);
 
+/**
+ * One-line scheduler-health summary of the kernel counters, e.g.
+ * "kernel: 1234567 events executed (99.8% bucket, max depth 421,
+ * 12.3 Mev/s)". For stats aggregated over a sweep, events/sec is the
+ * per-worker throughput (wall seconds are summed across jobs).
+ */
+std::string kernelSummary(const KernelStats &k);
+
 } // namespace protozoa
 
 #endif // PROTOZOA_SIM_STATS_REPORT_HH

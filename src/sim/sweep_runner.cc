@@ -1,0 +1,74 @@
+#include "sim/sweep_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "sim/system.hh"
+#include "workload/benchmarks.hh"
+
+namespace protozoa {
+
+unsigned
+envJobs(unsigned fallback)
+{
+    if (const char *env = std::getenv("PROTOZOA_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    if (fallback > 0)
+        return fallback;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<RunStats>
+runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
+         std::function<void(std::size_t, const SweepJob &)> progress)
+{
+    std::vector<RunStats> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    if (workers == 0)
+        workers = envJobs();
+    if (workers > jobs.size())
+        workers = static_cast<unsigned>(jobs.size());
+
+    std::mutex progress_mutex;
+    auto runOne = [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(i, job);
+        }
+        const BenchSpec &spec = findBenchmark(job.bench);
+        System sys(job.cfg, spec.gen(job.cfg, job.scale));
+        sys.run();
+        results[i] = sys.report();
+    };
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
+        return results;
+    }
+
+    std::atomic<std::size_t> next_job{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next_job.fetch_add(1); i < jobs.size();
+                 i = next_job.fetch_add(1))
+                runOne(i);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace protozoa

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 
@@ -69,26 +70,35 @@ System::enablePeriodicInvariantCheck(Cycle period)
 }
 
 void
+System::scheduleInvariantCheck()
+{
+    eventq.schedule(checkPeriod, [this] {
+        if (auto err = checkCoherenceInvariant()) {
+            ++invariantErrors;
+            if (firstInvariantError.empty())
+                firstInvariantError = *err;
+        }
+        if (coresRunning > 0)
+            scheduleInvariantCheck();
+    });
+}
+
+void
 System::run(Cycle max_cycles)
 {
     coresRunning = cfg.numCores;
     for (auto &core : cores)
         core->start();
 
-    if (checkPeriod > 0) {
-        std::function<void()> checker = [this, &checker]() {
-            if (auto err = checkCoherenceInvariant()) {
-                ++invariantErrors;
-                if (firstInvariantError.empty())
-                    firstInvariantError = *err;
-            }
-            if (coresRunning > 0)
-                eventq.schedule(checkPeriod, checker);
-        };
-        eventq.schedule(checkPeriod, checker);
-    }
+    if (checkPeriod > 0)
+        scheduleInvariantCheck();
 
+    const auto wall_start = std::chrono::steady_clock::now();
     eventq.run(max_cycles);
+    runWallSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     PROTO_ASSERT(coresRunning == 0, "event queue drained with live cores");
 
     if (!finalized) {
@@ -102,6 +112,8 @@ RunStats
 System::report() const
 {
     RunStats out;
+    out.kernel = eventq.kernelStats();
+    out.kernel.wallSeconds = runWallSeconds;
     for (const auto &l1c : l1s)
         out.l1.merge(l1c->stats);
     for (const auto &d : dirs)

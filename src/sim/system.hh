@@ -76,6 +76,7 @@ class System : public Router
 
   private:
     void onCoreDone(CoreId c);
+    void scheduleInvariantCheck();
 
     SystemConfig cfg;
     EventQueue eventq;
@@ -90,6 +91,7 @@ class System : public Router
 
     unsigned coresRunning = 0;
     bool finalized = false;
+    double runWallSeconds = 0.0;
 
     Cycle checkPeriod = 0;
     std::uint64_t invariantErrors = 0;

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: a multi-threaded sweep must
+ * produce RunStats identical to the serial sweep, row for row, and
+ * PROTOZOA_JOBS must control the worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "protozoa/protozoa.hh"
+
+namespace protozoa {
+namespace {
+
+/** Full field-by-field comparison, kernel wall-clock excluded. */
+void
+expectStatsIdentical(const RunStats &a, const RunStats &b,
+                     const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.l1.loads, b.l1.loads);
+    EXPECT_EQ(a.l1.stores, b.l1.stores);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.invMsgsReceived, b.l1.invMsgsReceived);
+    EXPECT_EQ(a.l1.blocksInvalidated, b.l1.blocksInvalidated);
+    EXPECT_EQ(a.l1.usedDataBytes, b.l1.usedDataBytes);
+    EXPECT_EQ(a.l1.unusedDataBytes, b.l1.unusedDataBytes);
+    EXPECT_EQ(a.l1.ctrlBytes, b.l1.ctrlBytes);
+    EXPECT_EQ(a.l1.blockSizeHist, b.l1.blockSizeHist);
+    EXPECT_EQ(a.dir.requests, b.dir.requests);
+    EXPECT_EQ(a.dir.l2Misses, b.dir.l2Misses);
+    EXPECT_EQ(a.dir.recalls, b.dir.recalls);
+    EXPECT_EQ(a.dir.memReadBytes, b.dir.memReadBytes);
+    EXPECT_EQ(a.dir.memWriteBytes, b.dir.memWriteBytes);
+    EXPECT_EQ(a.net.messages, b.net.messages);
+    EXPECT_EQ(a.net.bytes, b.net.bytes);
+    EXPECT_EQ(a.net.flits, b.net.flits);
+    EXPECT_EQ(a.net.flitHops, b.net.flitHops);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    // Kernel counters are deterministic too; only wall time may vary.
+    EXPECT_EQ(a.kernel.eventsScheduled, b.kernel.eventsScheduled);
+    EXPECT_EQ(a.kernel.eventsExecuted, b.kernel.eventsExecuted);
+    EXPECT_EQ(a.kernel.bucketScheduled, b.kernel.bucketScheduled);
+    EXPECT_EQ(a.kernel.heapScheduled, b.kernel.heapScheduled);
+    EXPECT_EQ(a.kernel.maxQueueDepth, b.kernel.maxQueueDepth);
+}
+
+std::vector<SweepJob>
+smallSweep()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *bench :
+         {"linear-regression", "histogram", "mat-mul", "canneal"}) {
+        for (ProtocolKind kind :
+             {ProtocolKind::MESI, ProtocolKind::ProtozoaMW}) {
+            SweepJob job;
+            job.bench = bench;
+            job.cfg.protocol = kind;
+            job.scale = 0.05;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+TEST(SweepRunner, ParallelMatchesSerialRowForRow)
+{
+    const auto jobs = smallSweep();
+    const auto serial = runSweep(jobs, 1);
+    const auto parallel = runSweep(jobs, 8);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expectStatsIdentical(serial[i], parallel[i],
+                             jobs[i].bench + "/" +
+                                 protocolName(jobs[i].cfg.protocol));
+        EXPECT_GT(serial[i].instructions, 0u);
+    }
+}
+
+TEST(SweepRunner, ProgressReportsEveryJobExactlyOnce)
+{
+    const auto jobs = smallSweep();
+    std::vector<unsigned> started(jobs.size(), 0);
+    // The progress callback is serialized by the runner, so plain
+    // vector writes are safe even with many workers.
+    runSweep(jobs, 4, [&](std::size_t i, const SweepJob &job) {
+        ASSERT_LT(i, started.size());
+        EXPECT_EQ(job.bench, jobs[i].bench);
+        ++started[i];
+    });
+    for (unsigned n : started)
+        EXPECT_EQ(n, 1u);
+}
+
+TEST(SweepRunner, EnvJobsParsesAndFallsBack)
+{
+    setenv("PROTOZOA_JOBS", "7", 1);
+    EXPECT_EQ(envJobs(), 7u);
+    setenv("PROTOZOA_JOBS", "0", 1);   // invalid -> fallback path
+    EXPECT_EQ(envJobs(3), 3u);
+    unsetenv("PROTOZOA_JOBS");
+    EXPECT_EQ(envJobs(5), 5u);
+    EXPECT_GE(envJobs(), 1u);          // hardware default, at least 1
+}
+
+TEST(SweepRunner, EmptyJobListIsFine)
+{
+    EXPECT_TRUE(runSweep({}, 8).empty());
+}
+
+} // namespace
+} // namespace protozoa
