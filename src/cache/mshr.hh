@@ -78,6 +78,13 @@ class MshrFile
         return it == entries.end() ? nullptr : &it->second;
     }
 
+    const MshrEntry *
+    find(Addr region) const
+    {
+        auto it = entries.find(region);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
     void
     free(Addr region)
     {
@@ -86,6 +93,15 @@ class MshrFile
     }
 
     std::size_t size() const { return entries.size(); }
+
+    /** Visit every outstanding entry (deadlock-watchdog scan). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const auto &[region, entry] : entries)
+            fn(entry);
+    }
 
   private:
     unsigned capacity;
@@ -145,6 +161,26 @@ class WbBuffer
     hasPending(Addr region) const
     {
         return pending.find(region) != pending.end();
+    }
+
+    /**
+     * True if a buffered writeback of @p region was NOT collected by a
+     * probe for range @p r (i.e. lies entirely outside it). The probe
+     * response must then keep this core tracked at the directory, or
+     * the in-flight PUT would be classified stale and its dirty data
+     * dropped. Only full-region probes collect every segment.
+     */
+    bool
+    hasUncollected(Addr region, const WordRange &r) const
+    {
+        auto it = pending.find(region);
+        if (it == pending.end())
+            return false;
+        for (const auto &wb : it->second) {
+            if (!wb.seg.range.overlaps(r))
+                return true;
+        }
+        return false;
     }
 
     std::size_t

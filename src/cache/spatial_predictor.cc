@@ -70,7 +70,8 @@ PcSpatialPredictor::learn(Pc pc, unsigned miss_word, WordMask touched,
     unsigned hi = miss_word;
     if (touched != 0) {
         lo = static_cast<unsigned>(std::countr_zero(touched));
-        hi = 31u - static_cast<unsigned>(std::countl_zero(touched));
+        hi = (kWordMaskBits - 1) -
+             static_cast<unsigned>(std::countl_zero(touched));
     }
 
     const unsigned new_left = miss_word >= lo ? miss_word - lo : 0;

@@ -107,6 +107,32 @@ struct SystemConfig
     /** Verify every load against the golden memory (cheap; default on). */
     bool checkValues = true;
 
+    // ---- conformance-harness knobs (all default off: figure harnesses
+    // ---- stay bit-identical to a build without the harness) ----
+
+    /**
+     * Network fault injection: perturb message delivery times with
+     * seeded random jitter so the protocol sees hostile interleavings.
+     * Same-(src,dst) FIFO order is always preserved (the protocol
+     * relies on it); only cross-pair order is shuffled.
+     */
+    bool faultInjection = false;
+    /** Max extra per-message delay in core cycles (uniform [0, max]). */
+    Cycle faultJitterMax = 8;
+    /**
+     * Probability that a message is additionally held for a long burst
+     * (4*faultJitterMax + 16 cycles), virtually guaranteeing messages
+     * on other (src,dst) pairs overtake it.
+     */
+    double faultReorderProb = 0.05;
+
+    /**
+     * Deadlock watchdog: flag any MSHR entry or directory transaction
+     * outstanding for more than this many cycles and dump a diagnostic
+     * instead of hanging until the event-queue safety net. 0 = off.
+     */
+    Cycle watchdogCycles = 0;
+
     /** Seed for workload generation and the random tester. */
     std::uint64_t seed = 1;
 
@@ -129,6 +155,8 @@ struct SystemConfig
             fatal("l2Tiles must equal numCores (tiled design)");
         if (l1BytesPerSet < regionBytes)
             fatal("l1BytesPerSet must hold at least one region");
+        if (faultReorderProb < 0.0 || faultReorderProb > 1.0)
+            fatal("faultReorderProb must be within [0,1]");
     }
 };
 

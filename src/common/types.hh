@@ -42,6 +42,13 @@ constexpr unsigned kMaxRegionWords = 16;   // supports regions up to 128 B
 /** A bitmap with one bit per word of a region. */
 using WordMask = std::uint32_t;
 
+/** Bit width of WordMask; all shift guards derive from this, never from
+ *  a literal, so widening WordMask for larger regions is a 1-line change. */
+constexpr unsigned kWordMaskBits = 8 * sizeof(WordMask);
+
+static_assert(kMaxRegionWords <= kWordMaskBits,
+              "WordMask too narrow for kMaxRegionWords; widen WordMask");
+
 /** Round an address down to its containing word. */
 constexpr Addr
 wordAlign(Addr a)

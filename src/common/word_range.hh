@@ -94,8 +94,9 @@ struct WordRange
         if (empty())
             return 0;
         assert(end < kMaxRegionWords);
-        WordMask all = (end + 1 >= 32) ? ~WordMask(0)
-                                       : ((WordMask(1) << (end + 1)) - 1);
+        WordMask all = (end + 1 >= kWordMaskBits)
+                           ? ~WordMask(0)
+                           : ((WordMask(1) << (end + 1)) - 1);
         return all & ~((WordMask(1) << start) - 1);
     }
 

@@ -10,17 +10,27 @@
  *
  * The mesh owns the Fig. 15 statistics: flit-hops are the paper's
  * dynamic-energy proxy for the interconnect.
+ *
+ * When `cfg.faultInjection` is set the mesh adds seeded random delay to
+ * every message ("jitter"), and occasionally a long hold that all but
+ * guarantees messages on *other* (src,dst) pairs overtake it. The
+ * per-pair FIFO clamp is applied after the perturbation, so the ordering
+ * invariant the protocol relies on is never violated — only cross-pair
+ * interleavings change. Runs are deterministic for a given seed.
  */
 
 #ifndef PROTOZOA_NOC_MESH_HH
 #define PROTOZOA_NOC_MESH_HH
 
+#include <algorithm>
 #include <cstdlib>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -32,7 +42,12 @@ class Mesh
     Mesh(EventQueue &eq, const SystemConfig &cfg)
         : eventq(eq), cols(cfg.meshCols), rows(cfg.meshRows),
           flitBytes(cfg.flitBytes), hopLatency(cfg.hopLatency),
-          flitSerialization(cfg.flitSerialization)
+          flitSerialization(cfg.flitSerialization),
+          faultInjection(cfg.faultInjection),
+          jitterMax(cfg.faultJitterMax),
+          reorderProb(cfg.faultReorderProb),
+          rng(cfg.seed ^ 0x6d657368ULL),  // "mesh"
+          lastArrival(static_cast<std::size_t>(cols) * rows * cols * rows, 0)
     {
     }
 
@@ -64,6 +79,11 @@ class Mesh
     send(unsigned src, unsigned dst, unsigned bytes,
          EventQueue::Callback deliver)
     {
+        const unsigned nodes = cols * rows;
+        PROTO_ASSERT(src < nodes && dst < nodes,
+                     "mesh node out of range: src=%u dst=%u nodes=%u",
+                     src, dst, nodes);
+
         const unsigned h = hops(src, dst);
         const unsigned flits = flitsFor(bytes);
 
@@ -74,11 +94,19 @@ class Mesh
 
         Cycle latency = 1 + hopLatency * h +
             flitSerialization * (flits > 0 ? flits - 1 : 0);
+
+        if (faultInjection) {
+            latency += rng.below(jitterMax + 1);
+            if (rng.chance(reorderProb))
+                latency += 4 * jitterMax + 16;
+        }
+
         Cycle arrival = eventq.now() + latency;
 
         // Per-pair FIFO: never deliver before the previous message on
-        // this (src,dst) channel.
-        Cycle &last = lastArrival[{src, dst}];
+        // this (src,dst) channel. Applied after fault injection so the
+        // ordering invariant survives any perturbation.
+        Cycle &last = lastArrival[static_cast<std::size_t>(src) * nodes + dst];
         if (arrival <= last)
             arrival = last + 1;
         last = arrival;
@@ -88,7 +116,17 @@ class Mesh
     }
 
     const NetStats &netStats() const { return stats; }
-    void clearStats() { stats = NetStats(); }
+
+    /**
+     * Reset the measurement counters *and* the per-pair FIFO history, so
+     * a measurement interval starting here sees no warmup ordering state.
+     */
+    void
+    clearStats()
+    {
+        stats = NetStats();
+        std::fill(lastArrival.begin(), lastArrival.end(), 0);
+    }
 
   private:
     EventQueue &eventq;
@@ -98,8 +136,14 @@ class Mesh
     Cycle hopLatency;
     Cycle flitSerialization;
 
+    bool faultInjection;
+    Cycle jitterMax;
+    double reorderProb;
+    Rng rng;
+
     NetStats stats;
-    std::map<std::pair<unsigned, unsigned>, Cycle> lastArrival;
+    /** Flat nodes*nodes matrix of last delivery cycle per (src,dst). */
+    std::vector<Cycle> lastArrival;
 };
 
 } // namespace protozoa

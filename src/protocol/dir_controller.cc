@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <sstream>
 
 #include "common/log.hh"
 
@@ -15,8 +16,10 @@ CoreSet::count() const
 
 DirController::DirController(TileId id, const SystemConfig &config,
                              EventQueue &eq, Router &rt,
-                             WordStore &mem)
-    : cfg(config), tileId(id), eventq(eq), router(rt), memImage(mem)
+                             WordStore &mem,
+                             ConformanceCoverage *cov_tracker)
+    : cfg(config), tileId(id), eventq(eq), router(rt), memImage(mem),
+      coverage(cov_tracker)
 {
     const std::uint64_t blocks = cfg.l2BytesPerTile / cfg.regionBytes;
     setsPerTile = static_cast<unsigned>(blocks / cfg.l2Assoc);
@@ -98,6 +101,26 @@ DirController::probeReaders(const L2Entry &entry) const
     // A Bloom-writer core receives FWD_GETX already; do not also INV.
     return CoreSet::fromRaw(bloomReaders->query(entry.region))
         .minus(probeWriters(entry));
+}
+
+DirState
+DirController::absState(const L2Entry *entry) const
+{
+    if (!entry || entry->filling)
+        return DirState::NP;
+    const unsigned writers = entry->writers.count();
+    if (writers > 1)
+        return DirState::MW;
+    if (writers == 1)
+        return entry->readers.any() ? DirState::WR : DirState::W;
+    return entry->readers.any() ? DirState::R : DirState::I;
+}
+
+void
+DirController::cov(DirState from, DirEvent ev, DirState to)
+{
+    if (coverage)
+        coverage->recordDir(from, ev, to);
 }
 
 Cycle
@@ -215,6 +238,11 @@ DirController::startRequest(const CoherenceMsg &msg)
     txn.requester = msg.sender;
     txn.reqRange = msg.range;
     txn.upgrade = msg.upgrade;
+    txn.start = eventq.now();
+    txn.covBefore = absState(lookup(msg.region));
+    txn.covEvent = msg.type == MsgType::GETS
+        ? DirEvent::GetS
+        : (msg.upgrade ? DirEvent::Upgrade : DirEvent::GetX);
     active.emplace(msg.region, txn);
 
     occupy(cfg.l2Latency);
@@ -272,6 +300,9 @@ DirController::beginRecall(Addr victim, Addr parent)
     txn.kind = Txn::Kind::Recall;
     txn.parentRegion = parent;
     txn.reqRange = WordRange::full(cfg.regionWords());
+    txn.start = eventq.now();
+    txn.covBefore = absState(entry);
+    txn.covEvent = DirEvent::Recall;
 
     unsigned probes = 0;
     const Cycle when = occupy(cfg.l2Latency);
@@ -302,6 +333,7 @@ DirController::finishRecall(Addr victim)
                  it->second.kind == Txn::Kind::Recall,
                  "finishRecall without recall txn");
     const Addr parent = it->second.parentRegion;
+    cov(it->second.covBefore, DirEvent::Recall, DirState::NP);
 
     L2Entry *entry = lookup(victim);
     PROTO_ASSERT(entry, "recall victim vanished");
@@ -564,6 +596,7 @@ DirController::respond(Addr region)
     }
 
     entry->lruStamp = ++lruClock;
+    cov(txn.covBefore, txn.covEvent, absState(entry));
     if (txn.directSupplied) {
         // 3-hop: the probed owner already sent DATA to the requester;
         // only the bookkeeping above was still needed.
@@ -589,6 +622,7 @@ DirController::handlePut(const CoherenceMsg &msg)
     const bool tracked =
         entry && (entry->readers.test(msg.sender) ||
                   entry->writers.test(msg.sender));
+    const DirState before = absState(entry);
 
     if (tracked) {
         patchSegments(*entry, msg.data);
@@ -600,6 +634,12 @@ DirController::handlePut(const CoherenceMsg &msg)
             setReader(*entry, msg.sender);
         }
         entry->lruStamp = ++lruClock;
+        const DirEvent ev = msg.last
+            ? DirEvent::PutLast
+            : (msg.demoteOwner ? DirEvent::PutDemote : DirEvent::Put);
+        cov(before, ev, absState(entry));
+    } else {
+        cov(before, DirEvent::PutStale, before);
     }
     // Untracked PUTs are stale (their data was already collected by a
     // forwarded probe answered from the writeback buffer): drop data.
@@ -627,6 +667,61 @@ DirController::finishTxn(Addr region)
     }
     active.erase(it);
     drainQueue(region);
+}
+
+std::vector<DirController::TxnView>
+DirController::activeTxns() const
+{
+    std::vector<TxnView> out;
+    out.reserve(active.size());
+    for (const auto &[region, txn] : active) {
+        TxnView v;
+        v.region = region;
+        v.start = txn.start;
+        v.recall = txn.kind == Txn::Kind::Recall;
+        v.pending = txn.pending;
+        v.waitingUnblock = txn.waitingUnblock;
+        auto it = waiting.find(region);
+        v.queued = it == waiting.end() ? 0 : it->second.size();
+        out.push_back(v);
+    }
+    return out;
+}
+
+std::string
+DirController::describeRegion(Addr region)
+{
+    std::ostringstream os;
+    os << "dir" << tileId << " region 0x" << std::hex << region
+       << std::dec << ": ";
+    if (const L2Entry *e = lookup(region)) {
+        os << "entry " << dirStateName(absState(e))
+           << (e->filling ? " (filling)" : "")
+           << (e->dirty ? " dirty" : " clean")
+           << " readers=0x" << std::hex << e->readers.raw()
+           << " writers=0x" << e->writers.raw() << std::dec;
+    } else {
+        os << "no entry";
+    }
+    auto it = active.find(region);
+    if (it != active.end()) {
+        const Txn &t = it->second;
+        os << "; txn " << (t.kind == Txn::Kind::Recall ? "recall"
+                                                       : "request")
+           << " (" << dirEventName(t.covEvent) << ") from core "
+           << t.requester << " started @" << t.start
+           << ", pending probes=" << t.pending
+           << (t.waitingUnblock ? ", waiting UNBLOCK" : "");
+    } else {
+        os << "; no active txn";
+    }
+    auto wit = waiting.find(region);
+    if (wit != waiting.end() && !wit->second.empty()) {
+        os << "; queued:";
+        for (const CoherenceMsg &m : wit->second)
+            os << " " << m.toString();
+    }
+    return os.str();
 }
 
 void

@@ -17,6 +17,13 @@
  * the request range for SW+MR/MW), (b) the keepNonOverlap and
  * revokeWritePerm probe flags, and (c) how many concurrent writers the
  * writer set may hold.
+ *
+ * The legal (state, event) -> next-state tuples of this controller —
+ * abstract states NP/I/R/W/WR/MW over the region's reader/writer sets,
+ * transaction-granular events — are enumerated in the documented
+ * transition inventory of protocol/conformance.hh (the
+ * implementation-level Table 3) and checked at run time: an
+ * undocumented tuple panics.
  */
 
 #ifndef PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH
@@ -25,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +42,7 @@
 #include "mem/golden_memory.hh"
 #include "protocol/bloom_directory.hh"
 #include "protocol/coherence_msg.hh"
+#include "protocol/conformance.hh"
 #include "protocol/router.hh"
 
 namespace protozoa {
@@ -88,7 +97,8 @@ class DirController
 {
   public:
     DirController(TileId id, const SystemConfig &cfg, EventQueue &eq,
-                  Router &router, WordStore &mem_image);
+                  Router &router, WordStore &mem_image,
+                  ConformanceCoverage *coverage = nullptr);
 
     /** Deliver a coherence message from the interconnect. */
     void receive(const CoherenceMsg &msg);
@@ -109,6 +119,22 @@ class DirController
         bool dirty = false;
     };
     DirView view(Addr region);
+
+    /** Watchdog view of one in-flight transaction. */
+    struct TxnView
+    {
+        Addr region = 0;
+        Cycle start = 0;
+        bool recall = false;
+        unsigned pending = 0;
+        bool waitingUnblock = false;
+        std::size_t queued = 0;
+    };
+    /** Every active transaction of this tile (deadlock-watchdog scan). */
+    std::vector<TxnView> activeTxns() const;
+
+    /** Diagnostic description of a region's directory-side state. */
+    std::string describeRegion(Addr region);
 
   private:
     /** One L2 block + directory entry. */
@@ -142,6 +168,13 @@ class DirController
         bool unblocked = false;
         /** Recall only: the region whose miss triggered the recall. */
         Addr parentRegion = 0;
+
+        /** Cycle the transaction began (deadlock-watchdog bound). */
+        Cycle start = 0;
+        /** Abstract state when the transaction began (coverage). */
+        DirState covBefore = DirState::NP;
+        /** Abstract event of this transaction (coverage). */
+        DirEvent covEvent = DirEvent::GetS;
     };
 
     Cycle occupy(Cycle latency);
@@ -163,6 +196,11 @@ class DirController
     void handlePut(const CoherenceMsg &msg);
     void finishTxn(Addr region);
     void drainQueue(Addr region);
+
+    /** Abstract coverage state of a region's sharer sets. */
+    DirState absState(const L2Entry *entry) const;
+    /** Record into the coverage matrix (no-op without a tracker). */
+    void cov(DirState from, DirEvent ev, DirState to);
 
     void patchSegments(L2Entry &entry,
                        const std::vector<DataSegment> &segs);
@@ -186,6 +224,7 @@ class DirController
     EventQueue &eventq;
     Router &router;
     WordStore &memImage;
+    ConformanceCoverage *coverage;
 
     unsigned setsPerTile;
     std::vector<std::vector<L2Entry>> sets;

@@ -8,10 +8,30 @@
 namespace protozoa {
 
 L1Controller::L1Controller(CoreId id, const SystemConfig &config,
-                           EventQueue &eq, Router &rt, GoldenMemory *gm)
+                           EventQueue &eq, Router &rt, GoldenMemory *gm,
+                           ConformanceCoverage *cov_tracker)
     : cfg(config), coreId(id), eventq(eq), router(rt), golden(gm),
-      cache(config), predictor(makePredictor(config)), mshrs(1)
+      coverage(cov_tracker), cache(config),
+      predictor(makePredictor(config)), mshrs(1)
 {
+}
+
+L1State
+L1Controller::abstractOf(BlockState s)
+{
+    switch (s) {
+      case BlockState::S: return L1State::S;
+      case BlockState::E: return L1State::E;
+      case BlockState::M: return L1State::M;
+    }
+    panic("unknown block state");
+}
+
+void
+L1Controller::cov(L1State from, L1Event ev, L1State to)
+{
+    if (coverage)
+        coverage->recordL1(from, ev, to);
 }
 
 Cycle
@@ -140,6 +160,7 @@ L1Controller::handleHit(AmoebaBlock *blk, const MemAccess &acc,
     cache.touchLru(blk);
     blk->touched |= WordMask(1) << word;
 
+    const L1State before = abstractOf(blk->state);
     std::uint64_t value = 0;
     if (acc.isWrite) {
         blk->state = BlockState::M;   // silent E->M upgrade included
@@ -148,9 +169,20 @@ L1Controller::handleHit(AmoebaBlock *blk, const MemAccess &acc,
             golden->commitStore(acc.addr, acc.storeValue);
     } else {
         value = blk->wordAt(word);
-        if (golden && cfg.checkValues)
-            golden->checkLoad(acc.addr, value);
+        if (golden && cfg.checkValues &&
+            !golden->checkLoad(acc.addr, value)) {
+            warn("core %u cycle %llu: load hit %llx observed %llx, "
+                 "oracle %llx",
+                 coreId,
+                 static_cast<unsigned long long>(eventq.now()),
+                 static_cast<unsigned long long>(acc.addr),
+                 static_cast<unsigned long long>(value),
+                 static_cast<unsigned long long>(
+                     golden->lastExpectedValue()));
+        }
     }
+    cov(before, acc.isWrite ? L1Event::Store : L1Event::Load,
+        abstractOf(blk->state));
 
     const Cycle done_at = occupy(cfg.l1Latency);
     auto cb = std::move(pendingDone);
@@ -197,6 +229,12 @@ L1Controller::handleMiss(const MemAccess &acc, Addr region, unsigned word)
     entry.upgrade = upgrade;
     mshrs.alloc(entry);
 
+    if (upgrade)
+        cov(L1State::S, L1Event::Store, L1State::SM);
+    else
+        cov(L1State::I, acc.isWrite ? L1Event::Store : L1Event::Load,
+            acc.isWrite ? L1State::IM : L1State::IS);
+
     CoherenceMsg msg;
     msg.type = acc.isWrite ? MsgType::GETX : MsgType::GETS;
     msg.dstNode = homeTile(region);
@@ -241,6 +279,7 @@ L1Controller::disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when)
     // the `last` flag (the directory must not drop the sharer early).
     for (std::size_t i = 0; i < evicted.size(); ++i) {
         AmoebaBlock &blk = evicted[i];
+        cov(abstractOf(blk.state), L1Event::Evict, L1State::I);
         classifyDeath(blk);
         if (!blk.dirty())
             continue;    // clean blocks retire silently
@@ -318,6 +357,7 @@ L1Controller::handleData(const CoherenceMsg &msg)
             // retry as a full GETX.
             PROTO_ASSERT(mshr->upgradeBroken || !blk,
                          "upgrade target mutated unexpectedly");
+            cov(L1State::SM_B, L1Event::DataUpgrade, L1State::IM);
             unblock();
             mshr->upgrade = false;
             mshr->upgradeBroken = false;
@@ -337,6 +377,7 @@ L1Controller::handleData(const CoherenceMsg &msg)
             return;
         }
         // Promote the resident block in place.
+        cov(L1State::SM, L1Event::DataUpgrade, L1State::M);
         blk->state = BlockState::M;
         blk->touched |= WordMask(1) << word;
         blk->wordAt(word) = mshr->storeValue;
@@ -353,10 +394,16 @@ L1Controller::handleData(const CoherenceMsg &msg)
     PROTO_ASSERT(seg.range == msg.range && seg.range.covers(mshr->need),
                  "DATA range mismatch");
 
+    // The MSHR transient this fill retires, for coverage recording.
+    const L1State transient = mshr->upgrade
+        ? (mshr->upgradeBroken ? L1State::SM_B : L1State::SM)
+        : (mshr->isWrite ? L1State::IM : L1State::IS);
+
     // Drop resident clean blocks the fill overlaps (the upgrade victim
     // or remnants); dirty overlap is impossible by construction.
     for (AmoebaBlock *b : cache.overlapping(region, seg.range)) {
         PROTO_ASSERT(!b->dirty(), "fill overlaps dirty block");
+        cov(abstractOf(b->state), L1Event::FillReplace, L1State::I);
         classifyDeath(*b);
         cache.removeExact(region, b->range);
     }
@@ -386,12 +433,22 @@ L1Controller::handleData(const CoherenceMsg &msg)
         blk.state = msg.grant == GrantState::E ? BlockState::E
                                                : BlockState::S;
         value = blk.wordAt(word);
-        if (golden && cfg.checkValues)
-            golden->checkLoad(mshr->accessAddr, value);
+        if (golden && cfg.checkValues &&
+            !golden->checkLoad(mshr->accessAddr, value)) {
+            warn("core %u cycle %llu: load fill %llx observed %llx, "
+                 "oracle %llx",
+                 coreId,
+                 static_cast<unsigned long long>(eventq.now()),
+                 static_cast<unsigned long long>(mshr->accessAddr),
+                 static_cast<unsigned long long>(value),
+                 static_cast<unsigned long long>(
+                     golden->lastExpectedValue()));
+        }
     }
 
     ++stats.blockSizeHist[std::min<unsigned>(seg.range.words(),
                                              kMaxRegionWords)];
+    cov(transient, L1Event::Data, abstractOf(blk.state));
     cache.insert(std::move(blk));
     disposeEvicted(std::move(evicted), done_at);
     unblock();
@@ -411,6 +468,7 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
 
     for (AmoebaBlock *b : cache.overlapping(region, msg.range)) {
         ++processed;
+        cov(abstractOf(b->state), L1Event::FwdGetS, L1State::S);
         if (b->dirty()) {
             segments.emplace_back(b->range, b->words);
             countOutgoingData(b->range, b->touched);
@@ -419,6 +477,8 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
             b->state = BlockState::S;
         }
     }
+    if (processed == 0)
+        cov(L1State::I, L1Event::FwdGetS, L1State::I);
 
     for (const PendingWb &wb :
          wbBuffer.overlappingSegments(region, msg.range)) {
@@ -436,6 +496,12 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
         if (b->state != BlockState::S)
             still_owner = true;
     }
+    // A dirty PUT in flight whose segment this (partial-range) probe
+    // did not collect: stay tracked, or the directory drops the PUT's
+    // data as stale. A sharer bit suffices and, unlike an owner bit,
+    // cannot re-grow the writer set of a single-writer protocol.
+    if (wbBuffer.hasUncollected(region, msg.range))
+        still_sharer = true;
 
     CoherenceMsg resp;
     if (!segments.empty())
@@ -466,6 +532,8 @@ void
 L1Controller::handleInvProbe(const CoherenceMsg &msg)
 {
     const Addr region = msg.region;
+    const L1Event cov_ev = msg.type == MsgType::FWD_GETX
+        ? L1Event::FwdGetX : L1Event::Inv;
     std::vector<DataSegment> segments;
     unsigned processed = 0;
     bool removed_any = false;
@@ -488,6 +556,7 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
         ++processed;
         removed_any = true;
         ++stats.blocksInvalidated;
+        cov(abstractOf(blk.state), cov_ev, L1State::I);
         if (blk.dirty()) {
             segments.emplace_back(blk.range, blk.words);
             countOutgoingData(blk.range, blk.touched);
@@ -496,14 +565,21 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
 
         // A racing upgrade loses its target block (Sec. 3.3 races).
         MshrEntry *mshr = mshrs.find(region);
-        if (mshr && mshr->upgrade && r.contains(mshr->need.start))
+        if (mshr && mshr->upgrade && r.contains(mshr->need.start) &&
+            !mshr->upgradeBroken) {
             mshr->upgradeBroken = true;
+            cov(L1State::SM, cov_ev, L1State::SM_B);
+        }
     }
+    if (!removed_any)
+        cov(L1State::I, cov_ev, L1State::I);
 
     // Protozoa-SW+MR: the single-writer slot is being reassigned, so
     // surviving non-overlapping blocks lose write permission.
     if (msg.revokeWritePerm) {
         for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+            if (b->state != BlockState::S)
+                cov(abstractOf(b->state), L1Event::Revoke, L1State::S);
             if (b->dirty()) {
                 segments.emplace_back(b->range, b->words);
                 countOutgoingData(b->range, b->touched);
@@ -527,6 +603,11 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
         if (b->state != BlockState::S)
             still_owner = true;
     }
+    // Same eviction race as in handleFwdGetS: an uncollected in-flight
+    // writeback must keep this core tracked (as a sharer) so the
+    // directory patches the PUT's data instead of dropping it.
+    if (wbBuffer.hasUncollected(region, msg.range))
+        still_sharer = true;
 
     CoherenceMsg resp;
     if (!segments.empty())

@@ -11,6 +11,13 @@
  * expresses it entirely through the probe range and the
  * keepNonOverlap / revokeWritePerm flags, so one L1 implementation
  * serves MESI, Protozoa-SW, Protozoa-SW+MR and Protozoa-MW.
+ *
+ * The legal (state, event) -> next-state tuples of this controller —
+ * stable I/S/E/M per block plus the IS/IM/SM/SM_B transients of the
+ * single MSHR — are enumerated in the documented transition inventory
+ * of protocol/conformance.hh (the implementation-level Table 2).
+ * Every transition taken at the record sites below is checked against
+ * that inventory at run time: an undocumented tuple panics.
  */
 
 #ifndef PROTOZOA_PROTOCOL_L1_CONTROLLER_HH
@@ -27,6 +34,7 @@
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "protocol/coherence_msg.hh"
+#include "protocol/conformance.hh"
 #include "protocol/router.hh"
 
 namespace protozoa {
@@ -48,7 +56,8 @@ class L1Controller
     using AccessCallback = std::function<void(std::uint64_t)>;
 
     L1Controller(CoreId id, const SystemConfig &cfg, EventQueue &eq,
-                 Router &router, GoldenMemory *golden);
+                 Router &router, GoldenMemory *golden,
+                 ConformanceCoverage *coverage = nullptr);
 
     /**
      * Issue a memory access. The in-order core model guarantees at
@@ -67,10 +76,11 @@ class L1Controller
 
     L1Stats stats;
 
-    // --- white-box access for tests ---
+    // --- white-box access for tests and the deadlock watchdog ---
     AmoebaCache &cacheStorage() { return cache; }
     SpatialPredictor &predictorPolicy() { return *predictor; }
     const WbBuffer &writebackBuffer() const { return wbBuffer; }
+    const MshrFile &mshrFile() const { return mshrs; }
 
   private:
     /** Reserve the controller for @p latency cycles; returns finish. */
@@ -120,11 +130,17 @@ class L1Controller
     /** Evicted-block disposal: silent drop or PUT via the WB buffer. */
     void disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when);
 
+    /** Abstract stable state of a block, for coverage recording. */
+    static L1State abstractOf(BlockState s);
+    /** Record into the coverage matrix (no-op without a tracker). */
+    void cov(L1State from, L1Event ev, L1State to);
+
     const SystemConfig &cfg;
     CoreId coreId;
     EventQueue &eventq;
     Router &router;
     GoldenMemory *golden;
+    ConformanceCoverage *coverage;
 
     AmoebaCache cache;
     std::unique_ptr<SpatialPredictor> predictor;

@@ -17,12 +17,40 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "protocol/conformance.hh"
 
 namespace protozoa {
 
 class RandomTester
 {
   public:
+    /** Access-pattern archetypes targeting specific protocol races. */
+    enum class Pattern : std::uint8_t
+    {
+        /** Uniform random over hot + cold pools (the classic tester). */
+        Uniform,
+        /**
+         * Cores hammer the words straddling region boundaries from
+         * opposite sides (even cores the top words, odd cores the
+         * bottom), so partial-granularity protocols see non-overlapping
+         * writer/reader ranges in the same region while MESI sees
+         * maximal false sharing.
+         */
+        FalseShareBoundary,
+        /**
+         * Mostly cold-pool traffic through a tiny L1/L2, maximizing
+         * evictions, writeback PUT/probe races and inclusive recalls.
+         */
+        EvictionPressure,
+        /**
+         * Load-then-store pairs to the same word, maximizing S->M
+         * permission upgrades and the probe-breaks-upgrade retry path.
+         */
+        UpgradeHeavy,
+    };
+
+    static const char *patternName(Pattern p);
+
     struct Params
     {
         ProtocolKind protocol = ProtocolKind::ProtozoaMW;
@@ -46,13 +74,25 @@ class RandomTester
         unsigned l1Sets = 4;
         /** Shrink the L2 to force inclusive recalls. */
         std::uint64_t l2BytesPerTile = 4096;
+
+        Pattern pattern = Pattern::Uniform;
+        /** Network fault injection (see SystemConfig::faultInjection). */
+        bool faultInjection = false;
+        Cycle faultJitterMax = 8;
+        double faultReorderProb = 0.05;
+        /** Deadlock-watchdog bound in cycles (0 = off). */
+        Cycle watchdogCycles = 0;
     };
 
     struct Result
     {
         std::uint64_t valueViolations = 0;
         std::uint64_t invariantViolations = 0;
+        /** Total accesses driven (all cores). */
+        std::uint64_t accesses = 0;
         RunStats stats;
+        /** Transition coverage observed by the run. */
+        ConformanceCoverage coverage{ProtocolKind::MESI};
     };
 
     static Result run(const Params &params);

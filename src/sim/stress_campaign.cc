@@ -1,0 +1,112 @@
+#include "sim/stress_campaign.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/sweep_runner.hh"
+
+namespace protozoa {
+
+const std::vector<JitterProfile> &
+standardJitterProfiles()
+{
+    static const std::vector<JitterProfile> profiles{
+        {"off", false, 0, 0.0},
+        {"mild", true, 4, 0.02},
+        {"wild", true, 16, 0.10},
+    };
+    return profiles;
+}
+
+bool
+CampaignResult::passed() const
+{
+    if (valueViolations != 0 || invariantViolations != 0)
+        return false;
+    for (const auto &cov : coverage) {
+        if (!cov.complete())
+            return false;
+    }
+    return true;
+}
+
+std::string
+CampaignResult::report(bool verbose) const
+{
+    std::ostringstream os;
+    os << "stress campaign: " << jobs << " jobs, " << accesses
+       << " accesses, " << valueViolations << " value violations, "
+       << invariantViolations << " invariant violations\n";
+    for (const auto &cov : coverage)
+        os << cov.report(verbose);
+    os << (passed() ? "campaign PASSED" : "campaign FAILED") << "\n";
+    return os.str();
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec)
+{
+    struct Job
+    {
+        std::size_t protoIdx;
+        RandomTester::Params params;
+        const char *profile;
+    };
+
+    std::vector<Job> jobs;
+    for (std::size_t p = 0; p < spec.protocols.size(); ++p) {
+        for (const auto &prof : spec.profiles) {
+            for (const auto pattern : spec.patterns) {
+                for (const auto seed : spec.seeds) {
+                    Job job;
+                    job.protoIdx = p;
+                    job.profile = prof.name;
+                    auto &rp = job.params;
+                    rp.protocol = spec.protocols[p];
+                    rp.pattern = pattern;
+                    rp.seed = seed;
+                    rp.accessesPerCore = spec.accessesPerCore;
+                    rp.checkPeriod = spec.checkPeriod;
+                    rp.faultInjection = prof.faultInjection;
+                    rp.faultJitterMax = prof.jitterMax;
+                    rp.faultReorderProb = prof.reorderProb;
+                    rp.watchdogCycles = spec.watchdogCycles;
+                    jobs.push_back(job);
+                }
+            }
+        }
+    }
+
+    CampaignResult res;
+    res.jobs = jobs.size();
+    res.coverage.reserve(spec.protocols.size());
+    for (const auto proto : spec.protocols)
+        res.coverage.emplace_back(proto);
+
+    std::mutex merge_mutex;
+    parallelFor(jobs.size(), spec.workers, [&](std::size_t i) {
+        const Job &job = jobs[i];
+        if (spec.progress) {
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            std::fprintf(stderr,
+                         "[campaign %zu/%zu] %s %s %s seed=%llu\n",
+                         i + 1, jobs.size(),
+                         protocolName(job.params.protocol),
+                         job.profile,
+                         RandomTester::patternName(job.params.pattern),
+                         static_cast<unsigned long long>(
+                             job.params.seed));
+        }
+        const RandomTester::Result r = RandomTester::run(job.params);
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        res.accesses += r.accesses;
+        res.valueViolations += r.valueViolations;
+        res.invariantViolations += r.invariantViolations;
+        res.coverage[job.protoIdx].merge(r.coverage);
+    });
+    return res;
+}
+
+} // namespace protozoa

@@ -24,6 +24,37 @@ envJobs(unsigned fallback)
     return hw > 0 ? hw : 1;
 }
 
+void
+parallelFor(std::size_t count, unsigned workers,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers == 0)
+        workers = envJobs();
+    if (workers > count)
+        workers = static_cast<unsigned>(count);
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+}
+
 std::vector<RunStats>
 runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
          std::function<void(std::size_t, const SweepJob &)> progress)
@@ -32,13 +63,8 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
     if (jobs.empty())
         return results;
 
-    if (workers == 0)
-        workers = envJobs();
-    if (workers > jobs.size())
-        workers = static_cast<unsigned>(jobs.size());
-
     std::mutex progress_mutex;
-    auto runOne = [&](std::size_t i) {
+    parallelFor(jobs.size(), workers, [&](std::size_t i) {
         const SweepJob &job = jobs[i];
         if (progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
@@ -48,26 +74,7 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
         System sys(job.cfg, spec.gen(job.cfg, job.scale));
         sys.run();
         results[i] = sys.report();
-    };
-
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            runOne(i);
-        return results;
-    }
-
-    std::atomic<std::size_t> next_job{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (std::size_t i = next_job.fetch_add(1); i < jobs.size();
-                 i = next_job.fetch_add(1))
-                runOne(i);
-        });
-    }
-    for (auto &t : pool)
-        t.join();
+    });
     return results;
 }
 

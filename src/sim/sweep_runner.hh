@@ -44,6 +44,15 @@ struct SweepJob
 unsigned envJobs(unsigned fallback = 0);
 
 /**
+ * Run @p fn(i) for every i in [0, count) across a pool of @p workers
+ * threads (0 = envJobs(); 1 = inline on the calling thread, the exact
+ * serial path). Work-stealing by atomic index; returns when every
+ * index has completed. @p fn must be thread-safe across indices.
+ */
+void parallelFor(std::size_t count, unsigned workers,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
  * Run every job to completion and return one RunStats per job, in job
  * order regardless of completion order.
  *

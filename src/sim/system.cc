@@ -20,21 +20,25 @@ System::System(const SystemConfig &config, Workload workload)
     PROTO_ASSERT(traces.size() == cfg.numCores,
                  "workload must supply one trace per core");
 
+    coverage = std::make_unique<ConformanceCoverage>(cfg.protocol);
     net = std::make_unique<Mesh>(eventq, cfg);
 
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         l1s.push_back(std::make_unique<L1Controller>(
-            c, cfg, eventq, *this, &golden));
+            c, cfg, eventq, *this, &golden, coverage.get()));
     }
     for (TileId t = 0; t < cfg.l2Tiles; ++t) {
         dirs.push_back(std::make_unique<DirController>(
-            t, cfg, eventq, *this, memImage));
+            t, cfg, eventq, *this, memImage, coverage.get()));
     }
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         cores.push_back(std::make_unique<CoreModel>(
             c, eventq, *l1s[c], *traces[c],
             [this](CoreId id) { onCoreDone(id); }));
     }
+
+    if (cfg.watchdogCycles > 0)
+        enableWatchdog(cfg.watchdogCycles);
 }
 
 System::~System() = default;
@@ -42,6 +46,11 @@ System::~System() = default;
 void
 System::send(CoherenceMsg msg)
 {
+    armWatchdog();
+    if (filter && !filter(msg)) {
+        ++dropped;
+        return;
+    }
     const unsigned bytes = msg.sizeBytes(cfg.controlBytes);
     const unsigned src = msg.srcNode;
     const unsigned dst = msg.dstNode;
@@ -106,6 +115,126 @@ System::run(Cycle max_cycles)
             l1c->finalizeStats();
         finalized = true;
     }
+}
+
+void
+System::enableWatchdog(Cycle bound, WatchdogHandler handler)
+{
+    PROTO_ASSERT(bound > 0, "zero watchdog bound");
+    watchdogBound = bound;
+    watchdogHandler = std::move(handler);
+}
+
+void
+System::armWatchdog()
+{
+    if (watchdogBound == 0 || watchdogArmed || watchdogTripped)
+        return;
+    watchdogArmed = true;
+    const Cycle interval = std::max<Cycle>(watchdogBound / 2, 1);
+    eventq.schedule(interval, [this] { watchdogScan(); });
+}
+
+void
+System::watchdogScan()
+{
+    watchdogArmed = false;
+    if (watchdogTripped)
+        return;
+
+    const Cycle now = eventq.now();
+    bool outstanding = false;
+    std::vector<std::pair<Addr, std::string>> overdue;
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1s[c]->mshrFile().forEach([&](const MshrEntry &e) {
+            outstanding = true;
+            if (now > e.issued + watchdogBound) {
+                std::ostringstream os;
+                os << "L1." << c << " MSHR for region 0x" << std::hex
+                   << e.region << std::dec << " ("
+                   << (e.isWrite ? "store" : "load") << " word "
+                   << e.need.start << (e.upgrade ? ", upgrade" : "")
+                   << (e.upgradeBroken ? ", broken" : "")
+                   << ") outstanding since cycle " << e.issued;
+                overdue.emplace_back(e.region, os.str());
+            }
+        });
+        if (l1s[c]->writebackBuffer().pendingCount() > 0)
+            outstanding = true;
+    }
+    for (TileId t = 0; t < cfg.l2Tiles; ++t) {
+        for (const auto &v : dirs[t]->activeTxns()) {
+            outstanding = true;
+            if (now > v.start + watchdogBound) {
+                std::ostringstream os;
+                os << "dir" << t << " "
+                   << (v.recall ? "recall" : "request")
+                   << " txn for region 0x" << std::hex << v.region
+                   << std::dec << " outstanding since cycle " << v.start
+                   << " (pending probes=" << v.pending
+                   << (v.waitingUnblock ? ", waiting UNBLOCK" : "")
+                   << ", queued=" << v.queued << ")";
+                overdue.emplace_back(v.region, os.str());
+            }
+        }
+    }
+
+    if (!overdue.empty()) {
+        std::ostringstream os;
+        os << "deadlock watchdog: " << overdue.size()
+           << " transaction(s) outstanding past " << watchdogBound
+           << " cycles at cycle " << now << "\n";
+        for (const auto &[region, what] : overdue)
+            os << "  " << what << "\n" << dumpRegionDiagnostic(region);
+        ++watchdogFired;
+        if (watchdogHandler) {
+            // One-shot: disarm so a deliberately wedged run drains.
+            watchdogTripped = true;
+            watchdogHandler(os.str());
+            return;
+        }
+        panic("%s", os.str().c_str());
+    }
+
+    if (outstanding)
+        armWatchdog();
+}
+
+std::string
+System::dumpRegionDiagnostic(Addr region)
+{
+    std::ostringstream os;
+    const TileId home = static_cast<TileId>(
+        (region / cfg.regionBytes) % cfg.l2Tiles);
+    os << "    " << dirs[home]->describeRegion(region) << "\n";
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        std::ostringstream line;
+        bool any = false;
+        l1s[c]->cacheStorage().forEach([&](const AmoebaBlock &blk) {
+            if (blk.region != region)
+                return;
+            line << " " << blockStateName(blk.state)
+                 << blk.range.toString();
+            any = true;
+        });
+        if (const MshrEntry *e = l1s[c]->mshrFile().find(region)) {
+            line << " mshr(" << (e->isWrite ? "W" : "R") << " word "
+                 << e->need.start << (e->upgrade ? " upgrade" : "")
+                 << (e->upgradeBroken ? " broken" : "") << " issued @"
+                 << e->issued << ")";
+            any = true;
+        }
+        const auto wbs = l1s[c]->writebackBuffer().overlappingSegments(
+            region, WordRange::full(cfg.regionWords()));
+        if (!wbs.empty()) {
+            line << " wb-pending x" << wbs.size();
+            any = true;
+        }
+        if (any)
+            os << "    L1." << c << ":" << line.str() << "\n";
+    }
+    return os.str();
 }
 
 RunStats

@@ -13,6 +13,7 @@
 #ifndef PROTOZOA_SIM_SYSTEM_HH
 #define PROTOZOA_SIM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,6 +24,7 @@
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "noc/mesh.hh"
+#include "protocol/conformance.hh"
 #include "protocol/dir_controller.hh"
 #include "protocol/l1_controller.hh"
 #include "protocol/router.hh"
@@ -62,6 +64,41 @@ class System : public Router
     /** Load-value violations flagged by the golden-memory oracle. */
     std::uint64_t valueViolations() const { return golden.violations(); }
 
+    /** Per-run transition-coverage matrix (always recording). */
+    ConformanceCoverage &conformance() { return *coverage; }
+
+    /**
+     * Deadlock watchdog: flag any MSHR entry or directory transaction
+     * outstanding for more than @p bound cycles and hand @p handler a
+     * diagnostic dump of the stuck region (L1 block states, MSHR and
+     * writeback-buffer contents, directory sets, queued requests).
+     *
+     * The default handler panics. A custom handler is one-shot: after
+     * the first firing the watchdog disarms, so a deliberately wedged
+     * test run still drains its event queue.
+     *
+     * Also enabled automatically when cfg.watchdogCycles > 0.
+     */
+    using WatchdogHandler = std::function<void(const std::string &)>;
+    void enableWatchdog(Cycle bound, WatchdogHandler handler = nullptr);
+
+    /** Overdue transactions flagged by the watchdog so far. */
+    std::uint64_t watchdogFirings() const { return watchdogFired; }
+
+    /** Diagnostic description of one region across all controllers. */
+    std::string dumpRegionDiagnostic(Addr region);
+
+    /**
+     * Test hook: when set, every coherence message is offered to the
+     * filter before entering the mesh; returning false drops it (to
+     * wedge a transaction deliberately for the watchdog tests).
+     */
+    using MessageFilter = std::function<bool(const CoherenceMsg &)>;
+    void setMessageFilter(MessageFilter f) { filter = std::move(f); }
+
+    /** Messages dropped by the filter. */
+    std::uint64_t droppedMessages() const { return dropped; }
+
     // Router interface.
     void send(CoherenceMsg msg) override;
 
@@ -77,9 +114,12 @@ class System : public Router
   private:
     void onCoreDone(CoreId c);
     void scheduleInvariantCheck();
+    void armWatchdog();
+    void watchdogScan();
 
     SystemConfig cfg;
     EventQueue eventq;
+    std::unique_ptr<ConformanceCoverage> coverage;
     std::unique_ptr<Mesh> net;
     GoldenMemory golden;
     WordStore memImage;
@@ -96,6 +136,15 @@ class System : public Router
     Cycle checkPeriod = 0;
     std::uint64_t invariantErrors = 0;
     std::string firstInvariantError;
+
+    Cycle watchdogBound = 0;
+    WatchdogHandler watchdogHandler;
+    bool watchdogArmed = false;
+    bool watchdogTripped = false;
+    std::uint64_t watchdogFired = 0;
+
+    MessageFilter filter;
+    std::uint64_t dropped = 0;
 };
 
 } // namespace protozoa

@@ -38,6 +38,10 @@ readTrace(std::istream &in, unsigned num_cores)
                   line_no, op.c_str());
         if (gap > 0xffff)
             fatal("trace line %zu: gap %u too large", line_no, gap);
+        std::string rest;
+        if (is >> rest)
+            fatal("trace line %zu: trailing garbage '%s' after record",
+                  line_no, rest.c_str());
 
         TraceRecord rec;
         rec.addr = wordAlign(addr);

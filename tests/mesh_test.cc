@@ -132,5 +132,116 @@ TEST(Mesh, ClearStatsResets)
     EXPECT_EQ(mesh.netStats().flitHops, 0u);
 }
 
+// Satellite regression: clearStats() must also reset the per-pair
+// FIFO arrival clamps, or a post-reset fast message would still be
+// held behind a pre-reset slow one.
+TEST(Mesh, ClearStatsResetsFifoState)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+
+    std::vector<int> order;
+    mesh.send(0, 15, 4000, [&] { order.push_back(1); });  // slow
+    mesh.clearStats();
+    mesh.send(0, 15, 8, [&] { order.push_back(2); });     // fast
+    eq.run();
+    // With the FIFO clamp reset the fast message is free to arrive
+    // on its natural (earlier) schedule.
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(MeshDeath, RejectsOutOfRangeNodes)
+{
+    EventQueue eq;
+    SystemConfig cfg = cfg4x4();
+    Mesh mesh(eq, cfg);
+    EXPECT_DEATH(mesh.send(16, 0, 8, [] {}), "out of range");
+    EXPECT_DEATH(mesh.send(0, 99, 8, [] {}), "out of range");
+}
+
+SystemConfig
+jitterCfg(std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.faultInjection = true;
+    cfg.faultJitterMax = 16;
+    cfg.faultReorderProb = 0.25;
+    cfg.seed = seed;
+    return cfg;
+}
+
+// Fault injection must preserve same-(src,dst) FIFO order: it is the
+// one network ordering property the protocol relies on.
+TEST(Mesh, JitterPreservesSamePairFifo)
+{
+    EventQueue eq;
+    SystemConfig cfg = jitterCfg(42);
+    Mesh mesh(eq, cfg);
+
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i)
+        mesh.send(0, 15, 8, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+// ... while messages on distinct pairs do get reordered by the long
+// holds (that is the point of the injector).
+TEST(Mesh, JitterReordersAcrossPairs)
+{
+    EventQueue eq;
+    SystemConfig cfg = jitterCfg(42);
+    Mesh mesh(eq, cfg);
+
+    // Same hop count and size for every pair: without injection these
+    // deliver in issue order.
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i) {
+        const unsigned src = i % 4;
+        const unsigned dst = 4 + i % 4;
+        mesh.send(src, dst, 8, [&order, i] { order.push_back(i); });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 64u);
+    bool inverted = false;
+    for (std::size_t i = 1; i < order.size(); ++i)
+        inverted |= order[i] < order[i - 1];
+    EXPECT_TRUE(inverted);
+}
+
+TEST(Mesh, JitterIsDeterministicPerSeed)
+{
+    auto schedule = [](std::uint64_t seed) {
+        EventQueue eq;
+        SystemConfig cfg = jitterCfg(seed);
+        Mesh mesh(eq, cfg);
+        std::vector<Cycle> lat;
+        for (int i = 0; i < 100; ++i)
+            lat.push_back(mesh.send(i % 16, (i * 7) % 16, 8, [] {}));
+        eq.run();
+        return lat;
+    };
+    EXPECT_EQ(schedule(7), schedule(7));
+    EXPECT_NE(schedule(7), schedule(8));
+}
+
+TEST(Mesh, InjectionOffMatchesDefaultLatency)
+{
+    EventQueue eq1, eq2;
+    SystemConfig plain = cfg4x4();
+    SystemConfig off = jitterCfg(3);
+    off.faultInjection = false;
+    Mesh a(eq1, plain), b(eq2, off);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.send(i % 16, (i * 5) % 16, 8 + 8 * (i % 4), [] {}),
+                  b.send(i % 16, (i * 5) % 16, 8 + 8 * (i % 4), [] {}));
+    }
+    eq1.run();
+    eq2.run();
+}
+
 } // namespace
 } // namespace protozoa

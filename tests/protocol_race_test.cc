@@ -106,6 +106,79 @@ TEST(ProtocolRace, WritebackBufferAnswersProbe)
         EXPECT_EQ(d.sys.l1(c).writebackBuffer().pendingCount(), 0u);
 }
 
+// Found by the stress campaign (eviction-pressure archetype): a dirty
+// eviction PUT races a probe whose range does NOT overlap the
+// writeback. The probed core has no blocks left and the probe collects
+// nothing from the writeback buffer, but it must still report itself
+// a sharer — if the directory clears its tracking, the queued PUT is
+// classified stale and the dirty word is silently dropped (lost
+// store). Only Protozoa-SW+MR and Protozoa-MW probe with partial
+// ranges, so only they can hit the non-overlap window. Sweeping the
+// prober's start cycle walks the probe through every alignment with
+// the eviction, including the fatal one.
+TEST(ProtocolRace, NonOverlappingProbeDoesNotDropRacingWriteback)
+{
+    for (auto protocol :
+         {ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        SystemConfig cfg = wordCfg(protocol);
+        cfg.l1Sets = 1;
+        cfg.l1BytesPerSet = 80;   // 5 one-word blocks per L1
+
+        const Addr victim = 15 * 64;   // homed at tile 15
+        const Addr dirty_w = victim + 3 * kWordBytes;
+        const Addr probe_w = victim + 6 * kWordBytes;
+
+        // Set up one instance per prober start cycle: core 0 dirties
+        // word 3, then fills its only set; the fifth fill evicts the
+        // dirty block and launches its PUT toward tile 15.
+        const auto setup = [&](ProtocolDriver &d) {
+            d.store(0, dirty_w, 4242);
+            for (unsigned i = 0; i < 5; ++i)
+                d.issue(0, 0x40000 + i * 64, false, 0, 0x200 + 4 * i);
+        };
+
+        // Calibrate: run once without a prober, sampling core 0's
+        // writeback buffer every cycle to catch the exact cycle the
+        // eviction PUT launches. Sweeping the prober start around that
+        // cycle walks the probe through every alignment with the PUT,
+        // including the fatal one.
+        // put_off: cycles from setup completion (the clock issue()
+        // delays are measured from) to the PUT entering the network.
+        Cycle put_off = 0;
+        {
+            ProtocolDriver d(cfg);
+            setup(d);
+            const Cycle base = d.sys.eventQueue().now();
+            std::function<void()> sample = [&, base] {
+                if (d.sys.l1(0).writebackBuffer().pendingCount() > 0) {
+                    put_off = d.sys.eventQueue().now() - base;
+                    return;
+                }
+                d.sys.eventQueue().schedule(1, sample);
+            };
+            d.sys.eventQueue().schedule(1, sample);
+            d.drain();
+        }
+        ASSERT_GT(put_off, 0u) << protocolName(protocol);
+
+        const Cycle first = put_off > 100 ? put_off - 100 : 0;
+        for (Cycle dly = first; dly < put_off + 40; ++dly) {
+            ProtocolDriver d(cfg);
+            setup(d);
+            // Core 15 reads word 6: the directory probes writer core 0
+            // with range [6-6], which never overlaps the writeback.
+            d.issue(15, probe_w, false, 0, 0x300, dly);
+            d.drain();
+
+            EXPECT_EQ(d.load(14, dirty_w), 4242u)
+                << protocolName(protocol) << " dly=" << dly;
+            d.expectClean();
+            if (HasFailure())
+                return;
+        }
+    }
+}
+
 // Two sharers upgrade the same word simultaneously: one wins, the
 // loser's upgrade is broken and retried as a full GETX.
 TEST(ProtocolRace, RacingUpgradesOnSameWord)

@@ -44,6 +44,24 @@ TEST(WordOnlyPredictor, ExactlyTheNeed)
               WordRange(6, 6));
 }
 
+// Satellite regression: learn() computed the touched-extent high bit
+// with a hardcoded 31u (assuming a 32-bit mask). The top word of a
+// 16-word (128-byte) region must train and predict correctly for any
+// WordMask width.
+TEST(PcSpatialPredictor, LearnsTopWordOfSixteenWordRegion)
+{
+    PcSpatialPredictor p;
+    p.learn(0xc0, 15, WordMask(1) << 15, WordRange(0, 15));
+    EXPECT_EQ(p.predict(0xc0, 15, WordRange(15, 15), 16),
+              WordRange(15, 15));
+
+    // Runs touching the full 16 words learn the full extent.
+    PcSpatialPredictor q;
+    q.learn(0xd0, 0, static_cast<WordMask>(0xffff), WordRange(0, 15));
+    EXPECT_EQ(q.predict(0xd0, 0, WordRange(0, 0), 16),
+              WordRange(0, 15));
+}
+
 TEST(PcSpatialPredictor, ColdPredictsFullRegion)
 {
     PcSpatialPredictor p;

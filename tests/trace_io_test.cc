@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "common/rng.hh"
 #include "protozoa/protozoa.hh"
 #include "workload/trace_io.hh"
 
@@ -124,6 +125,62 @@ TEST(TraceIoDeath, RejectsMalformedLine)
 {
     std::istringstream in("0 L zz\n");
     EXPECT_DEATH(readTrace(in, 4), "malformed");
+}
+
+// Satellite hardening: a record followed by extra tokens used to parse
+// silently, hiding column mistakes (e.g. a shifted field).
+TEST(TraceIoDeath, RejectsTrailingGarbage)
+{
+    std::istringstream in("0 L 1000 0 1 oops\n");
+    EXPECT_DEATH(readTrace(in, 4), "trailing garbage");
+}
+
+TEST(TraceIoDeath, RejectsDuplicatedRecordOnOneLine)
+{
+    std::istringstream in("0 L 1000 0 1 0 S 2000 0 1\n");
+    EXPECT_DEATH(readTrace(in, 4), "trailing garbage");
+}
+
+// Property test: randomized workloads survive a write -> read round
+// trip exactly (comments and formatting are the writer's own).
+TEST(TraceIo, RandomizedRoundTripProperty)
+{
+    Rng rng(0xfeed);
+    const unsigned cores = 4;
+    std::vector<std::vector<TraceRecord>> original(cores);
+
+    Workload wl;
+    for (unsigned c = 0; c < cores; ++c) {
+        const std::size_t n = 50 + rng.below(100);
+        for (std::size_t i = 0; i < n; ++i) {
+            TraceRecord rec;
+            rec.addr = wordAlign(rng.next() & 0xffffffffffull);
+            rec.pc = rng.next() & 0xffffffffull;
+            rec.isWrite = rng.chance(0.5);
+            rec.gapInstrs = static_cast<std::uint16_t>(rng.below(
+                0x10000));
+            original[c].push_back(rec);
+        }
+        wl.push_back(std::make_unique<VectorTrace>(
+            std::vector<TraceRecord>(original[c])));
+    }
+
+    std::ostringstream out;
+    writeTrace(out, std::move(wl));
+    std::istringstream in(out.str());
+    Workload restored = readTrace(in, cores);
+
+    for (unsigned c = 0; c < cores; ++c) {
+        TraceRecord rec;
+        for (const TraceRecord &want : original[c]) {
+            ASSERT_TRUE(restored[c]->next(rec));
+            EXPECT_EQ(rec.addr, want.addr);
+            EXPECT_EQ(rec.pc, want.pc);
+            EXPECT_EQ(rec.isWrite, want.isWrite);
+            EXPECT_EQ(rec.gapInstrs, want.gapInstrs);
+        }
+        EXPECT_FALSE(restored[c]->next(rec));
+    }
 }
 
 TEST(TraceIoDeath, RejectsMissingFile)

@@ -49,6 +49,21 @@ TEST(WordRange, FullRegionSixteenWords)
     EXPECT_EQ(r.mask(), 0xffffu);
 }
 
+// Satellite regression: mask() used a hardcoded 32-bit shift; a range
+// reaching the top bit of WordMask must saturate without UB whatever
+// width the mask type has.
+TEST(WordRange, MaskAtTypeWidthBoundary)
+{
+    WordRange full_width(0, kWordMaskBits - 1);
+    EXPECT_EQ(full_width.mask(), ~WordMask(0));
+
+    WordRange top_bit(kWordMaskBits - 1, kWordMaskBits - 1);
+    EXPECT_EQ(top_bit.mask(), WordMask(1) << (kWordMaskBits - 1));
+
+    // The largest supported region still fits the mask type.
+    static_assert(kMaxRegionWords <= kWordMaskBits);
+}
+
 TEST(WordRange, OverlapCases)
 {
     WordRange a(2, 5);
