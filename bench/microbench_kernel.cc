@@ -20,6 +20,7 @@
 
 #include "common/event_queue.hh"
 #include "common/rng.hh"
+#include "sim/random_tester.hh"
 
 namespace protozoa {
 namespace {
@@ -202,6 +203,45 @@ BM_CalendarKernelTrivial(benchmark::State &state)
     runTrivial<EventQueue>(state);
 }
 BENCHMARK(BM_CalendarKernelTrivial);
+
+/**
+ * End-to-end system benchmark: a full 16-core System driven by the
+ * random tester (hot/cold pools, golden-memory oracle on), reporting
+ * simulated accesses per wall-clock second. This is the number the
+ * data-path work (inline storage, pooled tables) is judged against.
+ */
+void
+runSystemThroughput(benchmark::State &state, ProtocolKind proto)
+{
+    RandomTester::Params p;
+    p.protocol = proto;
+    p.accessesPerCore = 2000;
+    p.seed = 7;
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        auto res = RandomTester::run(p);
+        accesses += res.accesses;
+        benchmark::DoNotOptimize(res.stats.l1.misses);
+        if (res.valueViolations || res.invariantViolations)
+            state.SkipWithError("coherence violation during benchmark");
+    }
+    state.counters["accesses/s"] = benchmark::Counter(
+        static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+
+void
+BM_SystemMESI(benchmark::State &state)
+{
+    runSystemThroughput(state, ProtocolKind::MESI);
+}
+BENCHMARK(BM_SystemMESI)->Unit(benchmark::kMillisecond);
+
+void
+BM_SystemProtozoaMW(benchmark::State &state)
+{
+    runSystemThroughput(state, ProtocolKind::ProtozoaMW);
+}
+BENCHMARK(BM_SystemProtozoaMW)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace protozoa

@@ -33,6 +33,20 @@ AmoebaCache::AmoebaCache(const SystemConfig &cfg)
 {
     PROTO_ASSERT(setBudget >= blockCost(WordRange::full(cfg.regionWords())),
                  "set budget cannot hold a full region");
+
+    // Worst case for the slot pool: the set packed with minimum-size
+    // (one-word) blocks. Constructing all slots here makes every later
+    // insert/evict allocation-free.
+    const unsigned slotCap = setBudget / blockCost(WordRange(0, 0));
+    PROTO_ASSERT(slotCap >= 1 && slotCap < 0xffff,
+                 "set slot capacity %u out of range", slotCap);
+    for (auto &set : sets) {
+        set.slots.resize(slotCap);
+        set.order.reserve(slotCap);
+        set.freeSlots.reserve(slotCap);
+        for (unsigned i = slotCap; i-- > 0;)
+            set.freeSlots.push_back(static_cast<std::uint16_t>(i));
+    }
 }
 
 unsigned
@@ -50,40 +64,43 @@ AmoebaCache::setOf(Addr region) const
 AmoebaBlock *
 AmoebaCache::findCovering(Addr region, unsigned word)
 {
-    for (auto &blk : sets[setOf(region)].blocks) {
+    Set &set = sets[setOf(region)];
+    for (const std::uint16_t s : set.order) {
+        AmoebaBlock &blk = set.slots[s];
         if (blk.region == region && blk.range.contains(word))
             return &blk;
     }
     return nullptr;
 }
 
-std::vector<AmoebaBlock *>
-AmoebaCache::blocksOfRegion(Addr region)
+void
+AmoebaCache::blocksOfRegion(Addr region, BlockPtrs &out)
 {
-    std::vector<AmoebaBlock *> out;
-    for (auto &blk : sets[setOf(region)].blocks) {
+    Set &set = sets[setOf(region)];
+    for (const std::uint16_t s : set.order) {
+        AmoebaBlock &blk = set.slots[s];
         if (blk.region == region)
             out.push_back(&blk);
     }
-    return out;
 }
 
-std::vector<AmoebaBlock *>
-AmoebaCache::overlapping(Addr region, const WordRange &r)
+void
+AmoebaCache::overlapping(Addr region, const WordRange &r, BlockPtrs &out)
 {
-    std::vector<AmoebaBlock *> out;
-    for (auto &blk : sets[setOf(region)].blocks) {
+    Set &set = sets[setOf(region)];
+    for (const std::uint16_t s : set.order) {
+        AmoebaBlock &blk = set.slots[s];
         if (blk.region == region && blk.range.overlaps(r))
             out.push_back(&blk);
     }
-    return out;
 }
 
 bool
 AmoebaCache::hasRegion(Addr region)
 {
-    for (auto &blk : sets[setOf(region)].blocks) {
-        if (blk.region == region)
+    Set &set = sets[setOf(region)];
+    for (const std::uint16_t s : set.order) {
+        if (set.slots[s].region == region)
             return true;
     }
     return false;
@@ -92,7 +109,9 @@ AmoebaCache::hasRegion(Addr region)
 bool
 AmoebaCache::hasDirtyRegion(Addr region)
 {
-    for (auto &blk : sets[setOf(region)].blocks) {
+    Set &set = sets[setOf(region)];
+    for (const std::uint16_t s : set.order) {
+        const AmoebaBlock &blk = set.slots[s];
         if (blk.region == region && blk.dirty())
             return true;
     }
@@ -102,32 +121,44 @@ AmoebaCache::hasDirtyRegion(Addr region)
 bool
 AmoebaCache::hasWritableRegion(Addr region)
 {
-    for (auto &blk : sets[setOf(region)].blocks) {
+    Set &set = sets[setOf(region)];
+    for (const std::uint16_t s : set.order) {
+        const AmoebaBlock &blk = set.slots[s];
         if (blk.region == region && blk.state != BlockState::S)
             return true;
     }
     return false;
 }
 
-std::vector<AmoebaBlock>
-AmoebaCache::makeRoom(Addr region, const WordRange &r)
+AmoebaBlock
+AmoebaCache::takeAt(Set &set, std::size_t pos)
+{
+    const std::uint16_t s = set.order[pos];
+    AmoebaBlock out = std::move(set.slots[s]);
+    set.slots[s] = AmoebaBlock();
+    set.order.erase(set.order.begin() +
+                    static_cast<std::ptrdiff_t>(pos));
+    set.freeSlots.push_back(s);
+    set.bytesUsed -= blockCost(out.range);
+    return out;
+}
+
+void
+AmoebaCache::makeRoom(Addr region, const WordRange &r, Evicted &out)
 {
     Set &set = sets[setOf(region)];
     const unsigned need = blockCost(r);
-    std::vector<AmoebaBlock> evicted;
 
     while (set.bytesUsed + need > setBudget) {
-        PROTO_ASSERT(!set.blocks.empty(), "set over budget while empty");
-        auto victim = set.blocks.begin();
-        for (auto it = set.blocks.begin(); it != set.blocks.end(); ++it) {
-            if (it->lruStamp < victim->lruStamp)
-                victim = it;
+        PROTO_ASSERT(!set.order.empty(), "set over budget while empty");
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < set.order.size(); ++i) {
+            if (set.slots[set.order[i]].lruStamp <
+                set.slots[set.order[victim]].lruStamp)
+                victim = i;
         }
-        set.bytesUsed -= blockCost(victim->range);
-        evicted.push_back(std::move(*victim));
-        set.blocks.erase(victim);
+        out.push_back(takeAt(set, victim));
     }
-    return evicted;
 }
 
 AmoebaBlock *
@@ -139,29 +170,31 @@ AmoebaCache::insert(AmoebaBlock blk)
                  "insert without room (set %u)", setOf(blk.region));
     PROTO_ASSERT(blk.words.size() == blk.range.words(),
                  "block data size mismatch");
-    for (const auto &res : set.blocks) {
+    for (const std::uint16_t s : set.order) {
+        const AmoebaBlock &res = set.slots[s];
         PROTO_ASSERT(res.region != blk.region ||
                      !res.range.overlaps(blk.range),
                      "overlapping insert into region %llx",
                      static_cast<unsigned long long>(blk.region));
     }
+    PROTO_ASSERT(!set.freeSlots.empty(), "set slot pool exhausted");
     blk.lruStamp = ++lruClock;
-    set.blocks.push_back(std::move(blk));
+    const std::uint16_t s = set.freeSlots.back();
+    set.freeSlots.pop_back();
+    set.slots[s] = std::move(blk);
+    set.order.push_back(s);
     set.bytesUsed += cost;
-    return &set.blocks.back();
+    return &set.slots[s];
 }
 
 AmoebaBlock
 AmoebaCache::removeExact(Addr region, const WordRange &r)
 {
     Set &set = sets[setOf(region)];
-    for (auto it = set.blocks.begin(); it != set.blocks.end(); ++it) {
-        if (it->region == region && it->range == r) {
-            AmoebaBlock out = std::move(*it);
-            set.bytesUsed -= blockCost(out.range);
-            set.blocks.erase(it);
-            return out;
-        }
+    for (std::size_t pos = 0; pos < set.order.size(); ++pos) {
+        AmoebaBlock &blk = set.slots[set.order[pos]];
+        if (blk.region == region && blk.range == r)
+            return takeAt(set, pos);
     }
     panic("removeExact: block %llx %s not resident",
           static_cast<unsigned long long>(region), r.toString().c_str());
@@ -178,7 +211,7 @@ AmoebaCache::blockCount() const
 {
     std::size_t n = 0;
     for (const auto &set : sets)
-        n += set.blocks.size();
+        n += set.order.size();
     return n;
 }
 

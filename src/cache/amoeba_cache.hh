@@ -9,6 +9,14 @@
  * the multi-block coherence snoops (CHECK / GATHER, Fig. 3) scan one
  * set only.
  *
+ * Storage layout: block payloads are inline (no per-block heap words),
+ * and each set is a fixed slot pool — sized at construction for the
+ * worst case of minimum-size blocks — plus a small order array that
+ * preserves insertion order exactly like the former std::list, while
+ * keeping block pointers stable across unrelated inserts and removals.
+ * The multi-block snoop helpers fill caller-provided scratch buffers,
+ * so the steady-state lookup/evict/insert loop allocates nothing.
+ *
  * The fixed-granularity baseline (MESI) is the degenerate case where
  * every block spans its whole region: with the default 288-byte sets
  * and 8-byte tags that is exactly four 64-byte ways.
@@ -18,10 +26,10 @@
 #define PROTOZOA_CACHE_AMOEBA_CACHE_HH
 
 #include <cstdint>
-#include <list>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/small_vec.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
 
@@ -37,7 +45,7 @@ enum class BlockState : std::uint8_t
 
 const char *blockStateName(BlockState s);
 
-/** One variable-granularity cache block. */
+/** One variable-granularity cache block; payload words live inline. */
 struct AmoebaBlock
 {
     Addr region = 0;
@@ -52,7 +60,7 @@ struct AmoebaBlock
     /** LRU timestamp. */
     std::uint64_t lruStamp = 0;
     /** Data payload, indexed by (word - range.start). */
-    std::vector<std::uint64_t> words;
+    SmallVec<std::uint64_t, kMaxRegionWords> words;
 
     bool dirty() const { return state == BlockState::M; }
 
@@ -81,17 +89,33 @@ class AmoebaCache
     /** Per-block tag/metadata overhead charged against the set budget. */
     static constexpr unsigned kTagBytes = 8;
 
+    /**
+     * Inline capacity of the snoop scratch buffers: the default
+     * 288-byte set holds at most 18 minimum-size blocks. Larger
+     * configured budgets spill the scratch vector to the heap, which
+     * is correct but no longer allocation-free.
+     */
+    static constexpr unsigned kScratchBlocks = 20;
+
+    /** Caller-provided scratch for multi-block snoop results. */
+    using BlockPtrs = SmallVec<AmoebaBlock *, kScratchBlocks>;
+    /** Caller-provided scratch for eviction victims. */
+    using Evicted = SmallVec<AmoebaBlock, kScratchBlocks>;
+
     /** Set index for a region. */
     unsigned setOf(Addr region) const;
 
     /** The single block containing @p word of @p region, or nullptr. */
     AmoebaBlock *findCovering(Addr region, unsigned word);
 
-    /** All blocks of @p region (non-overlapping by invariant). */
-    std::vector<AmoebaBlock *> blocksOfRegion(Addr region);
+    /**
+     * Append all blocks of @p region (non-overlapping by invariant) to
+     * @p out. Pointers stay valid until one of them is removed.
+     */
+    void blocksOfRegion(Addr region, BlockPtrs &out);
 
-    /** Blocks of @p region overlapping @p r. */
-    std::vector<AmoebaBlock *> overlapping(Addr region, const WordRange &r);
+    /** Append the blocks of @p region overlapping @p r to @p out. */
+    void overlapping(Addr region, const WordRange &r, BlockPtrs &out);
 
     bool hasRegion(Addr region);
     /** True when any block of @p region is dirty. */
@@ -104,12 +128,9 @@ class AmoebaCache
 
     /**
      * Evict LRU blocks from the target set until a block of @p r words
-     * (plus tag) fits. Never evicts blocks of @p region that overlap
-     * @p protect (the caller is inserting there).
-     *
-     * @return the evicted blocks, oldest first.
+     * (plus tag) fits, appending the victims to @p out oldest first.
      */
-    std::vector<AmoebaBlock> makeRoom(Addr region, const WordRange &r);
+    void makeRoom(Addr region, const WordRange &r, Evicted &out);
 
     /**
      * Insert a block. Space must already exist (call makeRoom) and the
@@ -130,8 +151,8 @@ class AmoebaCache
     forEach(F &&fn)
     {
         for (auto &set : sets)
-            for (auto &blk : set.blocks)
-                fn(blk);
+            for (const std::uint16_t s : set.order)
+                fn(set.slots[s]);
     }
 
     std::size_t blockCount() const;
@@ -139,13 +160,24 @@ class AmoebaCache
     unsigned bytesPerSet() const { return setBudget; }
 
   private:
+    /**
+     * One set: a fixed pool of block slots plus the insertion-order
+     * index array. Slot addresses never change, so block pointers
+     * remain stable exactly as with the former std::list; removing an
+     * order entry shifts only 16-bit indices.
+     */
     struct Set
     {
-        std::list<AmoebaBlock> blocks;
+        std::vector<AmoebaBlock> slots;
+        std::vector<std::uint16_t> order;
+        std::vector<std::uint16_t> freeSlots;
         unsigned bytesUsed = 0;
     };
 
     static unsigned blockCost(const WordRange &r);
+
+    /** Remove order position @p pos of @p set; returns the block. */
+    AmoebaBlock takeAt(Set &set, std::size_t pos);
 
     unsigned numSets;
     unsigned setBudget;

@@ -12,15 +12,19 @@
  * WB_ACK so that a racing forwarded probe can still be answered with
  * the freshest data (the probe consults the buffer; the directory later
  * discards the superseded PUT).
+ *
+ * Storage: the MSHR file is a fixed slot array (stable entry pointers,
+ * linear scan over a handful of slots); the writeback buffer is a flat
+ * open-addressing region table whose per-region FIFOs live in a pooled
+ * arena. Neither allocates in steady state.
  */
 
 #ifndef PROTOZOA_CACHE_MSHR_HH
 #define PROTOZOA_CACHE_MSHR_HH
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
@@ -56,56 +60,76 @@ struct MshrEntry
 class MshrFile
 {
   public:
-    explicit MshrFile(unsigned max_entries = 1) : capacity(max_entries) {}
+    explicit MshrFile(unsigned max_entries = 1)
+        : slots(max_entries), used(max_entries, 0)
+    {
+    }
 
-    bool full() const { return entries.size() >= capacity; }
+    bool full() const { return live >= slots.size(); }
 
     MshrEntry *
     alloc(const MshrEntry &entry)
     {
         PROTO_ASSERT(!full(), "MSHR file full");
-        PROTO_ASSERT(entries.find(entry.region) == entries.end(),
+        PROTO_ASSERT(find(entry.region) == nullptr,
                      "second miss on region with outstanding MSHR");
-        auto [it, ok] = entries.emplace(entry.region, entry);
-        (void)ok;
-        return &it->second;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (!used[i]) {
+                used[i] = 1;
+                ++live;
+                slots[i] = entry;
+                return &slots[i];
+            }
+        }
+        panic("MSHR slot accounting corrupt");
     }
 
     MshrEntry *
     find(Addr region)
     {
-        auto it = entries.find(region);
-        return it == entries.end() ? nullptr : &it->second;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (used[i] && slots[i].region == region)
+                return &slots[i];
+        }
+        return nullptr;
     }
 
     const MshrEntry *
     find(Addr region) const
     {
-        auto it = entries.find(region);
-        return it == entries.end() ? nullptr : &it->second;
+        return const_cast<MshrFile *>(this)->find(region);
     }
 
     void
     free(Addr region)
     {
-        const auto n = entries.erase(region);
-        PROTO_ASSERT(n == 1, "freeing absent MSHR");
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (used[i] && slots[i].region == region) {
+                used[i] = 0;
+                --live;
+                return;
+            }
+        }
+        PROTO_ASSERT(false, "freeing absent MSHR");
     }
 
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return live; }
 
     /** Visit every outstanding entry (deadlock-watchdog scan). */
     template <typename F>
     void
     forEach(F &&fn) const
     {
-        for (const auto &[region, entry] : entries)
-            fn(entry);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (used[i])
+                fn(slots[i]);
+        }
     }
 
   private:
-    unsigned capacity;
-    std::unordered_map<Addr, MshrEntry> entries;
+    std::vector<MshrEntry> slots;
+    std::vector<std::uint8_t> used;
+    std::size_t live = 0;
 };
 
 /** A dirty block in flight between eviction PUT and WB_ACK. */
@@ -124,44 +148,39 @@ class WbBuffer
     void
     push(Addr region, PendingWb wb)
     {
-        pending[region].push_back(std::move(wb));
+        pool.push(*queues.findOrCreate(region), std::move(wb));
     }
 
     /** Complete the oldest PUT of @p region (its WB_ACK arrived). */
     void
     popFront(Addr region)
     {
-        auto it = pending.find(region);
-        PROTO_ASSERT(it != pending.end() && !it->second.empty(),
-                     "WB_ACK without pending PUT");
-        it->second.pop_front();
-        if (it->second.empty())
-            pending.erase(it);
+        auto *q = queues.find(region);
+        PROTO_ASSERT(q && !q->empty(), "WB_ACK without pending PUT");
+        pool.popFront(*q);
+        if (q->empty())
+            queues.erase(region);
     }
 
     /**
-     * Copies of buffered writebacks of @p region overlapping @p r.
-     * Used to answer forwarded probes racing with an eviction.
+     * Visit the buffered writebacks of @p region overlapping @p r,
+     * oldest first. Used to answer forwarded probes racing with an
+     * eviction.
      */
-    std::vector<PendingWb>
-    overlappingSegments(Addr region, const WordRange &r) const
+    template <typename F>
+    void
+    forEachOverlapping(Addr region, const WordRange &r, F &&fn) const
     {
-        std::vector<PendingWb> out;
-        auto it = pending.find(region);
-        if (it == pending.end())
-            return out;
-        for (const auto &wb : it->second) {
+        const auto *q = queues.find(region);
+        if (!q)
+            return;
+        pool.forEach(*q, [&](const PendingWb &wb) {
             if (wb.seg.range.overlaps(r))
-                out.push_back(wb);
-        }
-        return out;
+                fn(wb);
+        });
     }
 
-    bool
-    hasPending(Addr region) const
-    {
-        return pending.find(region) != pending.end();
-    }
+    bool hasPending(Addr region) const { return queues.contains(region); }
 
     /**
      * True if a buffered writeback of @p region was NOT collected by a
@@ -173,27 +192,30 @@ class WbBuffer
     bool
     hasUncollected(Addr region, const WordRange &r) const
     {
-        auto it = pending.find(region);
-        if (it == pending.end())
+        const auto *q = queues.find(region);
+        if (!q)
             return false;
-        for (const auto &wb : it->second) {
+        bool uncollected = false;
+        pool.forEach(*q, [&](const PendingWb &wb) {
             if (!wb.seg.range.overlaps(r))
-                return true;
-        }
-        return false;
+                uncollected = true;
+        });
+        return uncollected;
     }
 
     std::size_t
     pendingCount() const
     {
         std::size_t n = 0;
-        for (const auto &[region, list] : pending)
-            n += list.size();
+        queues.forEach([&](Addr, const PooledFifo<PendingWb>::Queue &q) {
+            n += q.size();
+        });
         return n;
     }
 
   private:
-    std::unordered_map<Addr, std::deque<PendingWb>> pending;
+    AddrTable<PooledFifo<PendingWb>::Queue> queues;
+    PooledFifo<PendingWb> pool;
 };
 
 } // namespace protozoa

@@ -55,7 +55,7 @@ class EventCallback
 {
   public:
     /** Inline capture budget; larger callables are heap-boxed. */
-    static constexpr std::size_t kInlineBytes = 120;
+    static constexpr std::size_t kInlineBytes = 256;
 
     EventCallback() noexcept = default;
 

@@ -42,6 +42,19 @@ void dtrace(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
+ * Lazy debug trace: the arguments are NOT evaluated unless tracing is
+ * enabled. Hot paths must use this instead of calling dtrace()
+ * directly — dtrace("%s", msg.toString().c_str()) would pay for the
+ * string construction on every message even with tracing off.
+ */
+#define PROTO_DTRACE(...)                                                 \
+    do {                                                                  \
+        if (::protozoa::debugTraceEnabled.load(                           \
+                std::memory_order_relaxed)) [[unlikely]]                  \
+            ::protozoa::dtrace(__VA_ARGS__);                              \
+    } while (0)
+
+/**
  * Assert-like invariant check that survives NDEBUG builds.
  * Use for protocol invariants whose violation must never be silent.
  */

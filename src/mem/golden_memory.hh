@@ -6,6 +6,15 @@
  * values with a deterministic initial image (a hash of the address), so
  * untouched memory has a well-defined, reproducible content.
  *
+ * Storage is paged at region granularity: an open-addressing table maps
+ * the page base address to a 16-word payload. Compared to the former
+ * per-word unordered_map this amortizes one table entry (and any growth
+ * allocation) over a whole region, turns the store-commit and
+ * load-check hot path into a single probe plus an array index, and —
+ * because simulated footprints touch most words of each region — keeps
+ * steady-state operation allocation-free once the working set's pages
+ * exist.
+ *
  * Two instances exist per simulation:
  *  - the MainMemory image behind the shared L2 (updated only by L2
  *    dirty evictions), and
@@ -17,8 +26,9 @@
 #ifndef PROTOZOA_MEM_GOLDEN_MEMORY_HH
 #define PROTOZOA_MEM_GOLDEN_MEMORY_HH
 
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -27,6 +37,11 @@ namespace protozoa {
 class WordStore
 {
   public:
+    /** Words per page; pages are aligned to kPageWords * kWordBytes. */
+    static constexpr unsigned kPageWords = kMaxRegionWords;
+
+    WordStore() { reset(64); }
+
     /** Deterministic initial content of a word (before any store). */
     static std::uint64_t
     initialValue(Addr word_addr)
@@ -42,23 +57,131 @@ class WordStore
     read(Addr addr) const
     {
         const Addr wa = wordAlign(addr);
-        auto it = words.find(wa);
-        return it == words.end() ? initialValue(wa) : it->second;
+        const Page *page = findPage(pageBase(wa));
+        return page ? page->words[wordIndex(wa)] : initialValue(wa);
     }
 
     /** Write the word containing @p addr. */
     void
     write(Addr addr, std::uint64_t value)
     {
-        words[wordAlign(addr)] = value;
+        const Addr wa = wordAlign(addr);
+        Page &page = findOrCreatePage(pageBase(wa));
+        const unsigned w = wordIndex(wa);
+        if (!(page.written & (std::uint16_t(1) << w))) {
+            page.written |= std::uint16_t(1) << w;
+            ++written;
+        }
+        page.words[w] = value;
     }
 
-    std::size_t touchedWords() const { return words.size(); }
+    /** Words ever written (not merely residing on a touched page). */
+    std::size_t touchedWords() const { return written; }
 
-    void clear() { words.clear(); }
+    void clear() { reset(64); }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> words;
+    struct Page
+    {
+        Addr base = 0;
+        /** Bitmap of explicitly written words (touchedWords stat). */
+        std::uint16_t written = 0;
+        std::uint64_t words[kPageWords];
+    };
+
+    static Addr
+    pageBase(Addr word_addr)
+    {
+        return word_addr & ~Addr(kPageWords * kWordBytes - 1);
+    }
+
+    static unsigned
+    wordIndex(Addr word_addr)
+    {
+        return static_cast<unsigned>(
+            (word_addr / kWordBytes) % kPageWords);
+    }
+
+    static std::uint64_t
+    mix(Addr key)
+    {
+        std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::size_t slotOf(Addr base) const
+    {
+        return static_cast<std::size_t>(mix(base)) & (pages.size() - 1);
+    }
+
+    const Page *
+    findPage(Addr base) const
+    {
+        std::size_t i = slotOf(base);
+        while (used[i]) {
+            if (pages[i].base == base)
+                return &pages[i];
+            i = (i + 1) & (pages.size() - 1);
+        }
+        return nullptr;
+    }
+
+    Page &
+    findOrCreatePage(Addr base)
+    {
+        if ((count + 1) * 10 >= pages.size() * 7)
+            grow();
+        std::size_t i = slotOf(base);
+        while (used[i]) {
+            if (pages[i].base == base)
+                return pages[i];
+            i = (i + 1) & (pages.size() - 1);
+        }
+        used[i] = 1;
+        ++count;
+        Page &page = pages[i];
+        page.base = base;
+        page.written = 0;
+        // Pre-fill with the deterministic initial image so reads need
+        // no per-word presence check.
+        for (unsigned w = 0; w < kPageWords; ++w)
+            page.words[w] = initialValue(base + w * kWordBytes);
+        return page;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Page> old_pages = std::move(pages);
+        std::vector<std::uint8_t> old_used = std::move(used);
+        pages.assign(old_pages.size() * 2, Page());
+        used.assign(old_used.size() * 2, 0);
+        for (std::size_t i = 0; i < old_pages.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            std::size_t j = slotOf(old_pages[i].base);
+            while (used[j])
+                j = (j + 1) & (pages.size() - 1);
+            used[j] = 1;
+            pages[j] = old_pages[i];
+        }
+    }
+
+    void
+    reset(std::size_t capacity)
+    {
+        pages.assign(capacity, Page());
+        used.assign(capacity, 0);
+        count = 0;
+        written = 0;
+    }
+
+    std::vector<Page> pages;
+    std::vector<std::uint8_t> used;
+    std::size_t count = 0;
+    std::size_t written = 0;
 };
 
 /**

@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "common/word_range.hh"
 
 namespace protozoa {
 
@@ -117,6 +119,50 @@ class Mesh
 
     const NetStats &netStats() const { return stats; }
 
+    /** One tracked in-flight message (deadlock-watchdog diagnostics). */
+    struct QueuedMsg
+    {
+        unsigned src = 0;
+        unsigned dst = 0;
+        Cycle arrival = 0;
+        /** Static message-type name (from msgTypeName). */
+        const char *type = "?";
+        Addr region = 0;
+        WordRange range;
+        bool dstIsDir = false;
+    };
+
+    /**
+     * Start recording every sent message until its arrival cycle, so a
+     * deadlock dump can enumerate the in-flight set per channel. Off by
+     * default: tracking touches a deque per message and is meant for
+     * watchdog-enabled debug runs, not the measurement path.
+     */
+    void enableTracking() { tracking = true; }
+    bool trackingEnabled() const { return tracking; }
+
+    /** Record one sent message (caller supplies the arrival cycle). */
+    void
+    noteQueued(QueuedMsg msg)
+    {
+        if (!tracking)
+            return;
+        prune();
+        inFlight.push_back(msg);
+    }
+
+    /** Visit every message still in flight (arrival >= now). */
+    template <typename F>
+    void
+    forEachQueued(F &&fn)
+    {
+        prune();
+        for (const QueuedMsg &m : inFlight) {
+            if (m.arrival >= eventq.now())
+                fn(m);
+        }
+    }
+
     /**
      * Reset the measurement counters *and* the per-pair FIFO history, so
      * a measurement interval starting here sees no warmup ordering state.
@@ -129,6 +175,15 @@ class Mesh
     }
 
   private:
+    /** Drop tracked messages that were delivered before now. */
+    void
+    prune()
+    {
+        while (!inFlight.empty() &&
+               inFlight.front().arrival < eventq.now())
+            inFlight.pop_front();
+    }
+
     EventQueue &eventq;
     unsigned cols;
     unsigned rows;
@@ -144,6 +199,10 @@ class Mesh
     NetStats stats;
     /** Flat nodes*nodes matrix of last delivery cycle per (src,dst). */
     std::vector<Cycle> lastArrival;
+
+    bool tracking = false;
+    /** Sent-but-undelivered messages, in send order (tracking only). */
+    std::deque<QueuedMsg> inFlight;
 };
 
 } // namespace protozoa

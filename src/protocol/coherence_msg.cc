@@ -28,10 +28,7 @@ msgTypeName(MsgType t)
 unsigned
 CoherenceMsg::dataWords() const
 {
-    unsigned n = 0;
-    for (const auto &seg : data)
-        n += static_cast<unsigned>(seg.words.size());
-    return n;
+    return data.count();
 }
 
 unsigned

@@ -13,10 +13,13 @@
 #ifndef PROTOZOA_PROTOCOL_COHERENCE_MSG_HH
 #define PROTOZOA_PROTOCOL_COHERENCE_MSG_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/log.hh"
+#include "common/small_vec.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
@@ -52,16 +55,86 @@ const char *msgTypeName(MsgType t);
 /** Permission granted with a DATA response. */
 enum class GrantState : std::uint8_t { S, E, M };
 
+/** Inline word buffer sized for the largest region (no heap). */
+using WordsVec = SmallVec<std::uint64_t, kMaxRegionWords>;
+
 /** A contiguous run of words with payload, within one region. */
 struct DataSegment
 {
     WordRange range;
-    std::vector<std::uint64_t> words;
+    WordsVec words;
 
     DataSegment() = default;
-    DataSegment(WordRange r, std::vector<std::uint64_t> w)
-        : range(r), words(std::move(w))
+    DataSegment(WordRange r, WordsVec w) : range(r), words(std::move(w))
     {
+    }
+};
+
+/**
+ * Message payload: the carried words of one region, as a validity mask
+ * plus a region-indexed word array.
+ *
+ * Replaces the former vector<DataSegment>: the segments of any one
+ * message are pairwise disjoint (concurrently resident blocks never
+ * overlap, and an in-flight writeback's range cannot overlap a block
+ * filled later, because its WB_ACK is ordered before that DATA on the
+ * same directory->L1 channel), so a flat mask loses no information and
+ * needs no per-segment heap storage. addRun() asserts the invariant.
+ */
+struct MsgData
+{
+    WordMask valid = 0;
+    std::array<std::uint64_t, kMaxRegionWords> words;
+
+    bool empty() const { return valid == 0; }
+
+    unsigned
+    count() const
+    {
+        return static_cast<unsigned>(std::popcount(valid));
+    }
+
+    void clear() { valid = 0; }
+
+    bool has(unsigned w) const { return (valid >> w) & 1; }
+
+    std::uint64_t
+    at(unsigned w) const
+    {
+        PROTO_ASSERT(has(w), "reading absent payload word %u", w);
+        return words[w];
+    }
+
+    void
+    set(unsigned w, std::uint64_t v)
+    {
+        PROTO_ASSERT(w < kMaxRegionWords, "payload word out of range");
+        PROTO_ASSERT(!has(w), "overlapping payload segments (word %u)",
+                     w);
+        words[w] = v;
+        valid |= WordMask(1) << w;
+    }
+
+    /** Add a contiguous run; @p src is indexed from r.start. */
+    void
+    addRun(const WordRange &r, const std::uint64_t *src)
+    {
+        for (unsigned w = r.start; w <= r.end; ++w)
+            set(w, src[w - r.start]);
+    }
+
+    /** Visit every carried (word, value), ascending word order. */
+    template <typename F>
+    void
+    forEachWord(F &&fn) const
+    {
+        WordMask rest = valid;
+        while (rest) {
+            const unsigned w =
+                static_cast<unsigned>(std::countr_zero(rest));
+            rest &= rest - 1;
+            fn(w, words[w]);
+        }
     }
 };
 
@@ -85,7 +158,7 @@ struct CoherenceMsg
     WordRange range;
 
     /** Payload for DATA / WB_RESP / PUT. */
-    std::vector<DataSegment> data;
+    MsgData data;
 
     // Probe semantics (directory -> L1).
     /** Keep blocks that do not overlap `range` (Protozoa-MW / SW+MR). */

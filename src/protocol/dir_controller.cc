@@ -162,10 +162,10 @@ DirController::lookup(Addr region)
 bool
 DirController::busy(Addr region) const
 {
-    if (active.find(region) != active.end())
+    if (active.contains(region))
         return true;
-    auto it = waiting.find(region);
-    return it != waiting.end() && !it->second.empty();
+    const auto *q = waiting.find(region);
+    return q && !q->empty();
 }
 
 DirController::DirView
@@ -182,15 +182,16 @@ DirController::view(Addr region)
 }
 
 void
-DirController::receive(const CoherenceMsg &msg)
+DirController::receive(CoherenceMsg msg)
 {
-    dtrace("dir%u <- %s", tileId, msg.toString().c_str());
+    PROTO_DTRACE("dir%u <- %s", tileId, msg.toString().c_str());
     switch (msg.type) {
       case MsgType::GETS:
       case MsgType::GETX:
       case MsgType::PUT:
-        if (active.find(msg.region) != active.end()) {
-            waiting[msg.region].push_back(msg);
+        if (active.contains(msg.region)) {
+            waitPool.push(*waiting.findOrCreate(msg.region),
+                          std::move(msg));
             return;
         }
         dispatch(msg);
@@ -328,12 +329,11 @@ DirController::beginRecall(Addr victim, Addr parent)
 void
 DirController::finishRecall(Addr victim)
 {
-    auto it = active.find(victim);
-    PROTO_ASSERT(it != active.end() &&
-                 it->second.kind == Txn::Kind::Recall,
+    Txn *txn = active.find(victim);
+    PROTO_ASSERT(txn && txn->kind == Txn::Kind::Recall,
                  "finishRecall without recall txn");
-    const Addr parent = it->second.parentRegion;
-    cov(it->second.covBefore, DirEvent::Recall, DirState::NP);
+    const Addr parent = txn->parentRegion;
+    cov(txn->covBefore, DirEvent::Recall, DirState::NP);
 
     L2Entry *entry = lookup(victim);
     PROTO_ASSERT(entry, "recall victim vanished");
@@ -351,7 +351,7 @@ DirController::finishRecall(Addr victim)
     entry->region = parent;
     entry->lruStamp = ++lruClock;
 
-    active.erase(it);
+    active.erase(victim);
     fetchFromMemory(parent);
     drainQueue(victim);
 }
@@ -388,9 +388,9 @@ DirController::recordOwnedCensus(const L2Entry &entry)
 void
 DirController::probePhase(Addr region)
 {
-    auto it = active.find(region);
-    PROTO_ASSERT(it != active.end(), "probePhase without txn");
-    Txn &txn = it->second;
+    Txn *txn_p = active.find(region);
+    PROTO_ASSERT(txn_p, "probePhase without txn");
+    Txn &txn = *txn_p;
     L2Entry *entry = lookup(region);
     PROTO_ASSERT(entry && !entry->filling, "probePhase without entry");
 
@@ -412,7 +412,7 @@ DirController::probePhase(Addr region)
             ++stats.bloomFalseProbes;
     };
 
-    std::vector<CoherenceMsg> probes;
+    SmallVec<CoherenceMsg, 18> probes;
     if (txn.reqType == MsgType::GETX) {
         probe_writers.forEach([&](CoreId c) {
             if (c == txn.requester)
@@ -472,16 +472,13 @@ DirController::probePhase(Addr region)
 }
 
 void
-DirController::patchSegments(L2Entry &entry,
-                             const std::vector<DataSegment> &segs)
+DirController::patchPayload(L2Entry &entry, const MsgData &data)
 {
-    if (segs.empty())
+    if (data.empty())
         return;
     PROTO_ASSERT(!entry.filling, "patch into filling entry");
-    for (const auto &seg : segs) {
-        for (unsigned w = seg.range.start; w <= seg.range.end; ++w)
-            entry.words[w] = seg.words[w - seg.range.start];
-    }
+    data.forEachWord(
+        [&](unsigned w, std::uint64_t v) { entry.words[w] = v; });
     entry.dirty = true;
 }
 
@@ -489,12 +486,12 @@ void
 DirController::updateSetsFromResponse(L2Entry &entry,
                                       const CoherenceMsg &msg)
 {
-    dtrace("dir%u sets: region=%llx sender=%u stillO=%d stillS=%d "
-           "(was w=%llx r=%llx)",
-           tileId, static_cast<unsigned long long>(entry.region),
-           msg.sender, msg.stillOwner, msg.stillSharer,
-           static_cast<unsigned long long>(entry.writers.raw()),
-           static_cast<unsigned long long>(entry.readers.raw()));
+    PROTO_DTRACE("dir%u sets: region=%llx sender=%u stillO=%d stillS=%d "
+                 "(was w=%llx r=%llx)",
+                 tileId, static_cast<unsigned long long>(entry.region),
+                 msg.sender, msg.stillOwner, msg.stillSharer,
+                 static_cast<unsigned long long>(entry.writers.raw()),
+                 static_cast<unsigned long long>(entry.readers.raw()));
     if (msg.stillOwner) {
         setWriter(entry, msg.sender);
         clearReader(entry, msg.sender);
@@ -510,14 +507,14 @@ DirController::updateSetsFromResponse(L2Entry &entry,
 void
 DirController::handleProbeResponse(const CoherenceMsg &msg)
 {
-    auto it = active.find(msg.region);
-    PROTO_ASSERT(it != active.end(), "probe response without txn");
-    Txn &txn = it->second;
+    Txn *txn_p = active.find(msg.region);
+    PROTO_ASSERT(txn_p, "probe response without txn");
+    Txn &txn = *txn_p;
     PROTO_ASSERT(txn.pending > 0, "unexpected probe response");
 
     L2Entry *entry = lookup(msg.region);
     PROTO_ASSERT(entry, "probe response without entry");
-    patchSegments(*entry, msg.data);
+    patchPayload(*entry, msg.data);
     updateSetsFromResponse(*entry, msg);
     if (msg.suppliedDirect) {
         txn.directSupplied = true;
@@ -537,9 +534,9 @@ DirController::handleProbeResponse(const CoherenceMsg &msg)
 void
 DirController::respond(Addr region)
 {
-    auto it = active.find(region);
-    PROTO_ASSERT(it != active.end(), "respond without txn");
-    Txn &txn = it->second;
+    Txn *txn_p = active.find(region);
+    PROTO_ASSERT(txn_p, "respond without txn");
+    Txn &txn = *txn_p;
     L2Entry *entry = lookup(region);
     PROTO_ASSERT(entry && !entry->filling, "respond without entry");
 
@@ -558,11 +555,9 @@ DirController::respond(Addr region)
         const bool dataless = txn.upgrade && entry->readers.test(req);
         data.grant = GrantState::M;
         if (!dataless) {
-            std::vector<std::uint64_t> words;
             for (unsigned w = txn.reqRange.start; w <= txn.reqRange.end;
                  ++w)
-                words.push_back(entry->words[w]);
-            data.data.emplace_back(txn.reqRange, std::move(words));
+                data.data.set(w, entry->words[w]);
         }
         setWriter(*entry, req);
         clearReader(*entry, req);
@@ -589,10 +584,8 @@ DirController::respond(Addr region)
         } else {
             setReader(*entry, req);
         }
-        std::vector<std::uint64_t> words;
         for (unsigned w = txn.reqRange.start; w <= txn.reqRange.end; ++w)
-            words.push_back(entry->words[w]);
-        data.data.emplace_back(txn.reqRange, std::move(words));
+            data.data.set(w, entry->words[w]);
     }
 
     entry->lruStamp = ++lruClock;
@@ -607,7 +600,7 @@ DirController::respond(Addr region)
     if (txn.unblocked) {
         // The requester's UNBLOCK beat the final probe response
         // (possible in 3-hop mode: the requester is served directly).
-        active.erase(it);
+        active.erase(region);
         drainQueue(region);
         return;
     }
@@ -625,7 +618,7 @@ DirController::handlePut(const CoherenceMsg &msg)
     const DirState before = absState(entry);
 
     if (tracked) {
-        patchSegments(*entry, msg.data);
+        patchPayload(*entry, msg.data);
         if (msg.last) {
             clearReader(*entry, msg.sender);
             clearWriter(*entry, msg.sender);
@@ -654,18 +647,18 @@ DirController::handlePut(const CoherenceMsg &msg)
 void
 DirController::finishTxn(Addr region)
 {
-    auto it = active.find(region);
-    PROTO_ASSERT(it != active.end(), "UNBLOCK without txn");
+    Txn *txn = active.find(region);
+    PROTO_ASSERT(txn, "UNBLOCK without txn");
     occupy(cfg.l2Latency);
-    if (!it->second.waitingUnblock) {
+    if (!txn->waitingUnblock) {
         // 3-hop: the directly-served requester can UNBLOCK before the
         // directory has collected the final probe response; remember
         // it and finish in respond().
         PROTO_ASSERT(cfg.threeHop, "early UNBLOCK without 3-hop mode");
-        it->second.unblocked = true;
+        txn->unblocked = true;
         return;
     }
-    active.erase(it);
+    active.erase(region);
     drainQueue(region);
 }
 
@@ -674,17 +667,17 @@ DirController::activeTxns() const
 {
     std::vector<TxnView> out;
     out.reserve(active.size());
-    for (const auto &[region, txn] : active) {
+    active.forEach([&](Addr region, const Txn &txn) {
         TxnView v;
         v.region = region;
         v.start = txn.start;
         v.recall = txn.kind == Txn::Kind::Recall;
         v.pending = txn.pending;
         v.waitingUnblock = txn.waitingUnblock;
-        auto it = waiting.find(region);
-        v.queued = it == waiting.end() ? 0 : it->second.size();
+        const auto *q = waiting.find(region);
+        v.queued = q ? q->size() : 0;
         out.push_back(v);
-    }
+    });
     return out;
 }
 
@@ -703,23 +696,21 @@ DirController::describeRegion(Addr region)
     } else {
         os << "no entry";
     }
-    auto it = active.find(region);
-    if (it != active.end()) {
-        const Txn &t = it->second;
-        os << "; txn " << (t.kind == Txn::Kind::Recall ? "recall"
-                                                       : "request")
-           << " (" << dirEventName(t.covEvent) << ") from core "
-           << t.requester << " started @" << t.start
-           << ", pending probes=" << t.pending
-           << (t.waitingUnblock ? ", waiting UNBLOCK" : "");
+    if (const Txn *t = active.find(region)) {
+        os << "; txn " << (t->kind == Txn::Kind::Recall ? "recall"
+                                                        : "request")
+           << " (" << dirEventName(t->covEvent) << ") from core "
+           << t->requester << " started @" << t->start
+           << ", pending probes=" << t->pending
+           << (t->waitingUnblock ? ", waiting UNBLOCK" : "");
     } else {
         os << "; no active txn";
     }
-    auto wit = waiting.find(region);
-    if (wit != waiting.end() && !wit->second.empty()) {
+    if (const auto *q = waiting.find(region); q && !q->empty()) {
         os << "; queued:";
-        for (const CoherenceMsg &m : wit->second)
+        waitPool.forEach(*q, [&](const CoherenceMsg &m) {
             os << " " << m.toString();
+        });
     }
     return os.str();
 }
@@ -727,25 +718,25 @@ DirController::describeRegion(Addr region)
 void
 DirController::drainQueue(Addr region)
 {
-    auto it = waiting.find(region);
-    if (it == waiting.end())
+    auto *q = waiting.find(region);
+    if (!q)
         return;
-    while (!it->second.empty() &&
-           active.find(region) == active.end()) {
-        CoherenceMsg msg = std::move(it->second.front());
-        it->second.pop_front();
-        if (it->second.empty()) {
-            waiting.erase(it);
+    while (!q->empty() && !active.contains(region)) {
+        CoherenceMsg msg = waitPool.popFront(*q);
+        if (q->empty()) {
+            waiting.erase(region);
             dispatch(msg);
             return;
         }
+        // dispatch() may recurse into other regions' queues and
+        // relocate table entries; re-find our queue handle after it.
         dispatch(msg);
-        it = waiting.find(region);
-        if (it == waiting.end())
+        q = waiting.find(region);
+        if (!q)
             return;
     }
-    if (it != waiting.end() && it->second.empty())
-        waiting.erase(it);
+    if (q->empty())
+        waiting.erase(region);
 }
 
 } // namespace protozoa

@@ -30,14 +30,13 @@
 #define PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/flat_table.hh"
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "protocol/bloom_directory.hh"
@@ -101,7 +100,7 @@ class DirController
                   ConformanceCoverage *coverage = nullptr);
 
     /** Deliver a coherence message from the interconnect. */
-    void receive(const CoherenceMsg &msg);
+    void receive(CoherenceMsg msg);
 
     TileId id() const { return tileId; }
 
@@ -202,8 +201,7 @@ class DirController
     /** Record into the coverage matrix (no-op without a tracker). */
     void cov(DirState from, DirEvent ev, DirState to);
 
-    void patchSegments(L2Entry &entry,
-                       const std::vector<DataSegment> &segs);
+    void patchPayload(L2Entry &entry, const MsgData &data);
     void updateSetsFromResponse(L2Entry &entry, const CoherenceMsg &msg);
     void recordOwnedCensus(const L2Entry &entry);
 
@@ -229,8 +227,15 @@ class DirController
     unsigned setsPerTile;
     std::vector<std::vector<L2Entry>> sets;
 
-    std::unordered_map<Addr, Txn> active;
-    std::unordered_map<Addr, std::deque<CoherenceMsg>> waiting;
+    // Per-region transaction and wait-queue bookkeeping: flat
+    // open-addressing tables plus a pooled FIFO arena, so the
+    // steady-state request path performs no node allocation. Entry
+    // pointers are invalidated by any insert or erase on the same
+    // table (backshift deletion relocates entries) — re-find after
+    // every dispatch.
+    AddrTable<Txn> active;
+    AddrTable<PooledFifo<CoherenceMsg>::Queue> waiting;
+    PooledFifo<CoherenceMsg> waitPool;
 
     /** TaglessBloom mode: Bloom-summarized sharer tracking. */
     std::unique_ptr<CountingBloomSharers> bloomReaders;

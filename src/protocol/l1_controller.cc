@@ -82,9 +82,9 @@ L1Controller::sendMsg(CoherenceMsg msg, Cycle when, bool count_stats)
 {
     msg.srcNode = coreId;
     msg.sender = coreId;
-    dtrace("l1.%u -> %s stillO=%d stillS=%d last=%d demote=%d", coreId,
-           msg.toString().c_str(), msg.stillOwner, msg.stillSharer,
-           msg.last, msg.demoteOwner);
+    PROTO_DTRACE("l1.%u -> %s stillO=%d stillS=%d last=%d demote=%d",
+                 coreId, msg.toString().c_str(), msg.stillOwner,
+                 msg.stillSharer, msg.last, msg.demoteOwner);
     if (count_stats)
         countCtrl(msg);
     eventq.scheduleAt(when, [this, m = std::move(msg)]() mutable {
@@ -94,16 +94,18 @@ L1Controller::sendMsg(CoherenceMsg msg, Cycle when, bool count_stats)
 
 bool
 L1Controller::tryCollectDirect(Addr region, const WordRange &range,
-                               std::vector<std::uint64_t> &out)
+                               MsgData &out)
 {
     if (range.empty())
         return false;
-    out.assign(range.words(), 0);
+    out.clear();
+    AmoebaCache::BlockPtrs blocks;
+    cache.overlapping(region, range, blocks);
     WordMask covered = 0;
-    for (AmoebaBlock *b : cache.overlapping(region, range)) {
+    for (AmoebaBlock *b : blocks) {
         const WordRange part = b->range.intersect(range);
         for (unsigned w = part.start; w <= part.end; ++w)
-            out[w - range.start] = b->wordAt(w);
+            out.set(w, b->wordAt(w));
         covered |= part.mask();
     }
     return covered == range.mask();
@@ -111,7 +113,7 @@ L1Controller::tryCollectDirect(Addr region, const WordRange &range,
 
 void
 L1Controller::sendDirectData(const CoherenceMsg &probe, GrantState grant,
-                             std::vector<std::uint64_t> words, Cycle when)
+                             const MsgData &words, Cycle when)
 {
     CoherenceMsg data;
     data.type = MsgType::DATA;
@@ -121,7 +123,7 @@ L1Controller::sendDirectData(const CoherenceMsg &probe, GrantState grant,
     data.range = probe.reqFetchRange;
     data.requester = probe.requester;
     data.grant = grant;
-    data.data.emplace_back(probe.reqFetchRange, std::move(words));
+    data.data = words;
     // Peer DATA is accounted at the receiving L1 only, like
     // directory-sourced DATA.
     sendMsg(std::move(data), when, /*count_stats=*/false);
@@ -213,7 +215,9 @@ L1Controller::handleMiss(const MemAccess &acc, Addr region, unsigned word)
         // Clip the predicted range so it cannot overlap any resident
         // block of the region (dirty data must never be refetched, and
         // insertion requires non-overlap).
-        for (AmoebaBlock *b : cache.blocksOfRegion(region))
+        AmoebaCache::BlockPtrs resident_blocks;
+        cache.blocksOfRegion(region, resident_blocks);
+        for (AmoebaBlock *b : resident_blocks)
             pred = clipAgainst(pred, need, b->range);
     }
 
@@ -247,9 +251,9 @@ L1Controller::handleMiss(const MemAccess &acc, Addr region, unsigned word)
 }
 
 void
-L1Controller::receive(const CoherenceMsg &msg)
+L1Controller::receive(CoherenceMsg msg)
 {
-    dtrace("l1.%u <- %s", coreId, msg.toString().c_str());
+    PROTO_DTRACE("l1.%u <- %s", coreId, msg.toString().c_str());
     countCtrl(msg);
     switch (msg.type) {
       case MsgType::DATA:
@@ -273,7 +277,7 @@ L1Controller::receive(const CoherenceMsg &msg)
 }
 
 void
-L1Controller::disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when)
+L1Controller::disposeEvicted(AmoebaCache::Evicted &evicted, Cycle when)
 {
     // Group per region so that only the final PUT of a region carries
     // the `last` flag (the directory must not drop the sharer early).
@@ -293,7 +297,7 @@ L1Controller::disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when)
         }
 
         PendingWb wb;
-        wb.seg = DataSegment(blk.range, blk.words);
+        wb.seg = DataSegment(blk.range, std::move(blk.words));
         wb.touched = blk.touched;
         wb.last = !later_same_region && !cache.hasRegion(blk.region);
         // Only demote when no block confers write permission any more
@@ -310,7 +314,7 @@ L1Controller::disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when)
         put.dstIsDir = true;
         put.region = blk.region;
         put.range = blk.range;
-        put.data.push_back(wb.seg);
+        put.data.addRun(wb.seg.range, wb.seg.words.data());
         put.last = wb.last;
         put.demoteOwner = wb.demoteOwner;
 
@@ -363,7 +367,9 @@ L1Controller::handleData(const CoherenceMsg &msg)
             mshr->upgradeBroken = false;
             mshr->pred = predictor->predict(
                 mshr->pc, word, mshr->need, cfg.regionWords());
-            for (AmoebaBlock *b : cache.blocksOfRegion(region))
+            AmoebaCache::BlockPtrs resident_blocks;
+            cache.blocksOfRegion(region, resident_blocks);
+            for (AmoebaBlock *b : resident_blocks)
                 mshr->pred = clipAgainst(mshr->pred, mshr->need, b->range);
 
             CoherenceMsg retry;
@@ -389,9 +395,8 @@ L1Controller::handleData(const CoherenceMsg &msg)
         return;
     }
 
-    PROTO_ASSERT(msg.data.size() == 1, "DATA with multiple segments");
-    const DataSegment &seg = msg.data.front();
-    PROTO_ASSERT(seg.range == msg.range && seg.range.covers(mshr->need),
+    PROTO_ASSERT(msg.data.valid == msg.range.mask() &&
+                 msg.range.covers(mshr->need),
                  "DATA range mismatch");
 
     // The MSHR transient this fill retires, for coverage recording.
@@ -401,24 +406,31 @@ L1Controller::handleData(const CoherenceMsg &msg)
 
     // Drop resident clean blocks the fill overlaps (the upgrade victim
     // or remnants); dirty overlap is impossible by construction.
-    for (AmoebaBlock *b : cache.overlapping(region, seg.range)) {
-        PROTO_ASSERT(!b->dirty(), "fill overlaps dirty block");
-        cov(abstractOf(b->state), L1Event::FillReplace, L1State::I);
-        classifyDeath(*b);
-        cache.removeExact(region, b->range);
+    {
+        AmoebaCache::BlockPtrs doomed;
+        cache.overlapping(region, msg.range, doomed);
+        for (AmoebaBlock *b : doomed) {
+            PROTO_ASSERT(!b->dirty(), "fill overlaps dirty block");
+            cov(abstractOf(b->state), L1Event::FillReplace, L1State::I);
+            classifyDeath(*b);
+            cache.removeExact(region, b->range);
+        }
     }
 
     // Make room first, but dispose of the victims only after the fill
     // is resident: a PUT's last/demote flags must account for the
     // incoming block when a victim belongs to the same region.
-    std::vector<AmoebaBlock> evicted = cache.makeRoom(region, seg.range);
+    AmoebaCache::Evicted evicted;
+    cache.makeRoom(region, msg.range, evicted);
 
     AmoebaBlock blk;
     blk.region = region;
-    blk.range = seg.range;
+    blk.range = msg.range;
     blk.fetchPc = mshr->pc;
     blk.missWord = static_cast<std::uint8_t>(word);
-    blk.words = seg.words;
+    blk.words.assign(msg.range.words(), 0);
+    for (unsigned w = msg.range.start; w <= msg.range.end; ++w)
+        blk.words[w - msg.range.start] = msg.data.at(w);
     blk.touched = WordMask(1) << word;
 
     std::uint64_t value = 0;
@@ -446,11 +458,11 @@ L1Controller::handleData(const CoherenceMsg &msg)
         }
     }
 
-    ++stats.blockSizeHist[std::min<unsigned>(seg.range.words(),
+    ++stats.blockSizeHist[std::min<unsigned>(msg.range.words(),
                                              kMaxRegionWords)];
     cov(transient, L1Event::Data, abstractOf(blk.state));
     cache.insert(std::move(blk));
-    disposeEvicted(std::move(evicted), done_at);
+    disposeEvicted(evicted, done_at);
     unblock();
     complete(value);
 }
@@ -459,18 +471,20 @@ void
 L1Controller::handleFwdGetS(const CoherenceMsg &msg)
 {
     const Addr region = msg.region;
-    std::vector<DataSegment> segments;
+    MsgData payload;
     unsigned processed = 0;
 
-    std::vector<std::uint64_t> direct_words;
+    MsgData direct_words;
     const bool direct = msg.tryDirect &&
         tryCollectDirect(region, msg.reqFetchRange, direct_words);
 
-    for (AmoebaBlock *b : cache.overlapping(region, msg.range)) {
+    AmoebaCache::BlockPtrs snooped;
+    cache.overlapping(region, msg.range, snooped);
+    for (AmoebaBlock *b : snooped) {
         ++processed;
         cov(abstractOf(b->state), L1Event::FwdGetS, L1State::S);
         if (b->dirty()) {
-            segments.emplace_back(b->range, b->words);
+            payload.addRun(b->range, b->words.data());
             countOutgoingData(b->range, b->touched);
             b->state = BlockState::S;
         } else if (b->state == BlockState::E) {
@@ -480,18 +494,20 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
     if (processed == 0)
         cov(L1State::I, L1Event::FwdGetS, L1State::I);
 
-    for (const PendingWb &wb :
-         wbBuffer.overlappingSegments(region, msg.range)) {
-        segments.push_back(wb.seg);
-        countOutgoingData(wb.seg.range, wb.touched);
-        ++processed;
-    }
+    wbBuffer.forEachOverlapping(
+        region, msg.range, [&](const PendingWb &wb) {
+            payload.addRun(wb.seg.range, wb.seg.words.data());
+            countOutgoingData(wb.seg.range, wb.touched);
+            ++processed;
+        });
 
     // An E/M block that survives keeps silent-write permission, so the
     // directory must keep tracking this core as a writer.
     bool still_owner = false;
     bool still_sharer = false;
-    for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+    AmoebaCache::BlockPtrs remaining;
+    cache.blocksOfRegion(region, remaining);
+    for (AmoebaBlock *b : remaining) {
         still_sharer = true;
         if (b->state != BlockState::S)
             still_owner = true;
@@ -504,7 +520,7 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
         still_sharer = true;
 
     CoherenceMsg resp;
-    if (!segments.empty())
+    if (!payload.empty())
         resp.type = MsgType::WB_RESP;
     else if (still_sharer)
         resp.type = MsgType::ACK_S;
@@ -515,7 +531,7 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
     resp.region = region;
     resp.range = msg.range;
     resp.requester = msg.requester;
-    resp.data = std::move(segments);
+    resp.data = payload;
     resp.stillOwner = still_owner;
     resp.stillSharer = still_sharer;
     resp.suppliedDirect = direct;
@@ -523,8 +539,7 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
     const Cycle when =
         occupy(cfg.l1Latency + cfg.l1GatherPerBlock * processed);
     if (direct)
-        sendDirectData(msg, GrantState::S, std::move(direct_words),
-                       when);
+        sendDirectData(msg, GrantState::S, direct_words, when);
     sendMsg(std::move(resp), when);
 }
 
@@ -534,11 +549,11 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
     const Addr region = msg.region;
     const L1Event cov_ev = msg.type == MsgType::FWD_GETX
         ? L1Event::FwdGetX : L1Event::Inv;
-    std::vector<DataSegment> segments;
+    MsgData payload;
     unsigned processed = 0;
     bool removed_any = false;
 
-    std::vector<std::uint64_t> direct_words;
+    MsgData direct_words;
     const bool direct = msg.tryDirect &&
         tryCollectDirect(region, msg.reqFetchRange, direct_words);
 
@@ -548,9 +563,13 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
 
     // CHECK + GATHER: overlapping blocks are written back (if dirty)
     // and invalidated whole, even on partial overlap (Sec. 3.2).
-    std::vector<WordRange> doomed;
-    for (AmoebaBlock *b : cache.overlapping(region, msg.range))
-        doomed.push_back(b->range);
+    SmallVec<WordRange, AmoebaCache::kScratchBlocks> doomed;
+    {
+        AmoebaCache::BlockPtrs hits;
+        cache.overlapping(region, msg.range, hits);
+        for (AmoebaBlock *b : hits)
+            doomed.push_back(b->range);
+    }
     for (const WordRange &r : doomed) {
         AmoebaBlock blk = cache.removeExact(region, r);
         ++processed;
@@ -558,7 +577,7 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
         ++stats.blocksInvalidated;
         cov(abstractOf(blk.state), cov_ev, L1State::I);
         if (blk.dirty()) {
-            segments.emplace_back(blk.range, blk.words);
+            payload.addRun(blk.range, blk.words.data());
             countOutgoingData(blk.range, blk.touched);
         }
         classifyDeath(blk);
@@ -577,11 +596,13 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
     // Protozoa-SW+MR: the single-writer slot is being reassigned, so
     // surviving non-overlapping blocks lose write permission.
     if (msg.revokeWritePerm) {
-        for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+        AmoebaCache::BlockPtrs survivors;
+        cache.blocksOfRegion(region, survivors);
+        for (AmoebaBlock *b : survivors) {
             if (b->state != BlockState::S)
                 cov(abstractOf(b->state), L1Event::Revoke, L1State::S);
             if (b->dirty()) {
-                segments.emplace_back(b->range, b->words);
+                payload.addRun(b->range, b->words.data());
                 countOutgoingData(b->range, b->touched);
                 ++processed;
             }
@@ -589,16 +610,18 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
         }
     }
 
-    for (const PendingWb &wb :
-         wbBuffer.overlappingSegments(region, msg.range)) {
-        segments.push_back(wb.seg);
-        countOutgoingData(wb.seg.range, wb.touched);
-        ++processed;
-    }
+    wbBuffer.forEachOverlapping(
+        region, msg.range, [&](const PendingWb &wb) {
+            payload.addRun(wb.seg.range, wb.seg.words.data());
+            countOutgoingData(wb.seg.range, wb.touched);
+            ++processed;
+        });
 
     bool still_owner = false;
     bool still_sharer = false;
-    for (AmoebaBlock *b : cache.blocksOfRegion(region)) {
+    AmoebaCache::BlockPtrs remaining;
+    cache.blocksOfRegion(region, remaining);
+    for (AmoebaBlock *b : remaining) {
         still_sharer = true;
         if (b->state != BlockState::S)
             still_owner = true;
@@ -610,7 +633,7 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
         still_sharer = true;
 
     CoherenceMsg resp;
-    if (!segments.empty())
+    if (!payload.empty())
         resp.type = MsgType::WB_RESP;
     else if (still_sharer)
         resp.type = MsgType::ACK_S;
@@ -623,7 +646,7 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
     resp.region = region;
     resp.range = msg.range;
     resp.requester = msg.requester;
-    resp.data = std::move(segments);
+    resp.data = payload;
     resp.stillOwner = still_owner;
     resp.stillSharer = still_sharer;
     resp.suppliedDirect = direct;
@@ -631,8 +654,7 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
     const Cycle when =
         occupy(cfg.l1Latency + cfg.l1GatherPerBlock * processed);
     if (direct)
-        sendDirectData(msg, GrantState::M, std::move(direct_words),
-                       when);
+        sendDirectData(msg, GrantState::M, direct_words, when);
     sendMsg(std::move(resp), when);
 }
 

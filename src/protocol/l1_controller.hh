@@ -66,7 +66,7 @@ class L1Controller
     void requestAccess(const MemAccess &acc, AccessCallback done);
 
     /** Deliver a coherence message from the interconnect. */
-    void receive(const CoherenceMsg &msg);
+    void receive(CoherenceMsg msg);
 
     /** Classify still-resident blocks into the used/unused totals. */
     void finalizeStats();
@@ -100,11 +100,11 @@ class L1Controller
      * @return true and fills @p out when fully covered.
      */
     bool tryCollectDirect(Addr region, const WordRange &range,
-                          std::vector<std::uint64_t> &out);
+                          MsgData &out);
 
     /** Send a peer-to-peer DATA for a successful 3-hop forward. */
     void sendDirectData(const CoherenceMsg &probe, GrantState grant,
-                        std::vector<std::uint64_t> words, Cycle when);
+                        const MsgData &words, Cycle when);
 
     /** Count the control/header bytes of a message (both directions). */
     void countCtrl(const CoherenceMsg &msg);
@@ -128,7 +128,7 @@ class L1Controller
     void handleInvProbe(const CoherenceMsg &msg);
 
     /** Evicted-block disposal: silent drop or PUT via the WB buffer. */
-    void disposeEvicted(std::vector<AmoebaBlock> evicted, Cycle when);
+    void disposeEvicted(AmoebaCache::Evicted &evicted, Cycle when);
 
     /** Abstract stable state of a block, for coverage recording. */
     static L1State abstractOf(BlockState s);

@@ -24,6 +24,10 @@ RandomTester::run(const Params &params)
     SystemConfig cfg;
     cfg.protocol = params.protocol;
     cfg.predictor = params.predictor;
+    cfg.numCores = params.numCores;
+    cfg.l2Tiles = params.numCores;
+    cfg.meshCols = params.meshCols;
+    cfg.meshRows = params.meshRows;
     cfg.seed = params.seed;
     cfg.checkValues = true;
     cfg.l1Sets = params.l1Sets;

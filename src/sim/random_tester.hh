@@ -55,6 +55,10 @@ class RandomTester
     {
         ProtocolKind protocol = ProtocolKind::ProtozoaMW;
         PredictorKind predictor = PredictorKind::PcSpatial;
+        /** System size (l2Tiles follows numCores; tiled design). */
+        unsigned numCores = 16;
+        unsigned meshCols = 4;
+        unsigned meshRows = 4;
         /** Hot pool size, in regions. */
         unsigned regions = 16;
         /**

@@ -20,6 +20,19 @@ standardJitterProfiles()
     return profiles;
 }
 
+CampaignSpec
+CampaignSpec::smallSystem()
+{
+    CampaignSpec spec;
+    spec.numCores = 4;
+    spec.meshCols = 2;
+    spec.meshRows = 2;
+    spec.seeds.clear();
+    for (std::uint64_t s = 1; s <= 80; ++s)
+        spec.seeds.push_back(s);
+    return spec;
+}
+
 bool
 CampaignResult::passed() const
 {
@@ -67,6 +80,9 @@ runCampaign(const CampaignSpec &spec)
                     rp.protocol = spec.protocols[p];
                     rp.pattern = pattern;
                     rp.seed = seed;
+                    rp.numCores = spec.numCores;
+                    rp.meshCols = spec.meshCols;
+                    rp.meshRows = spec.meshRows;
                     rp.accessesPerCore = spec.accessesPerCore;
                     rp.checkPeriod = spec.checkPeriod;
                     rp.faultInjection = prof.faultInjection;

@@ -59,6 +59,10 @@ struct CampaignSpec
         RandomTester::Pattern::UpgradeHeavy};
     /** Seeds; each grid point runs once per seed. */
     std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+    /** System size per job (l2Tiles follows numCores). */
+    unsigned numCores = 16;
+    unsigned meshCols = 4;
+    unsigned meshRows = 4;
     /** Accesses per core per job. */
     std::uint64_t accessesPerCore = 2000;
     /** Invariant-scan period forwarded to RandomTester. */
@@ -73,6 +77,14 @@ struct CampaignSpec
     unsigned workers = 0;
     /** Serialized per-job progress lines on stderr. */
     bool progress = false;
+
+    /**
+     * Hostile 4-core 2x2 variant: each job costs ~1/10 of a 16-core
+     * one, so the same wall-clock budget covers ~10x the seeds. Fewer
+     * cores means each region's contenders collide more often per
+     * access, so per-seed race density does not drop with system size.
+     */
+    static CampaignSpec smallSystem();
 };
 
 /** Aggregated campaign outcome. */

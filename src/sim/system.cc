@@ -55,13 +55,39 @@ System::send(CoherenceMsg msg)
     const unsigned src = msg.srcNode;
     const unsigned dst = msg.dstNode;
     const bool to_dir = msg.dstIsDir;
-    net->send(src, dst, bytes,
-              [this, to_dir, m = std::move(msg)]() {
-                  if (to_dir)
-                      dirs[m.dstNode]->receive(m);
-                  else
-                      l1s[m.dstNode]->receive(m);
-              });
+
+    // Snapshot the identifying fields before the message moves into the
+    // delivery closure, for the watchdog's in-flight tracking.
+    const MsgType type = msg.type;
+    const Addr region = msg.region;
+    const WordRange range = msg.range;
+
+    // The delivery closure must fit the event queue's inline buffer or
+    // every message send costs a heap allocation.
+    static_assert(sizeof(CoherenceMsg) + 2 * sizeof(void *) <=
+                  EventCallback::kInlineBytes,
+                  "mesh delivery closure spills to the heap");
+
+    const Cycle delay =
+        net->send(src, dst, bytes,
+                  [this, to_dir, m = std::move(msg)]() mutable {
+                      if (to_dir)
+                          dirs[m.dstNode]->receive(std::move(m));
+                      else
+                          l1s[m.dstNode]->receive(std::move(m));
+                  });
+
+    if (net->trackingEnabled()) {
+        Mesh::QueuedMsg q;
+        q.src = src;
+        q.dst = dst;
+        q.arrival = eventq.now() + delay;
+        q.type = msgTypeName(type);
+        q.region = region;
+        q.range = range;
+        q.dstIsDir = to_dir;
+        net->noteQueued(q);
+    }
 }
 
 void
@@ -123,6 +149,9 @@ System::enableWatchdog(Cycle bound, WatchdogHandler handler)
     PROTO_ASSERT(bound > 0, "zero watchdog bound");
     watchdogBound = bound;
     watchdogHandler = std::move(handler);
+    // Record in-flight messages so a deadlock dump can show what is
+    // still on the wire per channel.
+    net->enableTracking();
 }
 
 void
@@ -187,6 +216,28 @@ System::watchdogScan()
            << " cycles at cycle " << now << "\n";
         for (const auto &[region, what] : overdue)
             os << "  " << what << "\n" << dumpRegionDiagnostic(region);
+
+        // In-flight message census, grouped per (src,dst) channel: a
+        // message the dump does not show as queued at a controller is
+        // either on the wire here or genuinely lost.
+        std::vector<Mesh::QueuedMsg> inflight;
+        net->forEachQueued(
+            [&](const Mesh::QueuedMsg &m) { inflight.push_back(m); });
+        std::stable_sort(inflight.begin(), inflight.end(),
+                         [](const Mesh::QueuedMsg &a,
+                            const Mesh::QueuedMsg &b) {
+                             if (a.src != b.src)
+                                 return a.src < b.src;
+                             return a.dst < b.dst;
+                         });
+        os << "  in-flight messages: " << inflight.size() << "\n";
+        for (const auto &m : inflight) {
+            os << "    " << m.src << " -> " << m.dst
+               << (m.dstIsDir ? " (dir)" : " (l1)") << ": " << m.type
+               << " region 0x" << std::hex << m.region << std::dec
+               << " range " << m.range.toString() << ", arrives @"
+               << m.arrival << "\n";
+        }
         ++watchdogFired;
         if (watchdogHandler) {
             // One-shot: disarm so a deliberately wedged run drains.
@@ -225,10 +276,12 @@ System::dumpRegionDiagnostic(Addr region)
                  << e->issued << ")";
             any = true;
         }
-        const auto wbs = l1s[c]->writebackBuffer().overlappingSegments(
-            region, WordRange::full(cfg.regionWords()));
-        if (!wbs.empty()) {
-            line << " wb-pending x" << wbs.size();
+        std::size_t wbs = 0;
+        l1s[c]->writebackBuffer().forEachOverlapping(
+            region, WordRange::full(cfg.regionWords()),
+            [&](const PendingWb &) { ++wbs; });
+        if (wbs > 0) {
+            line << " wb-pending x" << wbs;
             any = true;
         }
         if (any)

@@ -54,6 +54,22 @@ TEST(AmoebaCache, InsertAndFind)
     EXPECT_EQ(cache.blockCount(), 1u);
 }
 
+std::size_t
+regionBlockCount(AmoebaCache &cache, Addr region)
+{
+    AmoebaCache::BlockPtrs out;
+    cache.blocksOfRegion(region, out);
+    return out.size();
+}
+
+std::size_t
+overlapCount(AmoebaCache &cache, Addr region, WordRange r)
+{
+    AmoebaCache::BlockPtrs out;
+    cache.overlapping(region, r, out);
+    return out.size();
+}
+
 TEST(AmoebaCache, MultipleDisjointBlocksPerRegion)
 {
     AmoebaCache cache(tinyCfg());
@@ -62,10 +78,10 @@ TEST(AmoebaCache, MultipleDisjointBlocksPerRegion)
     cache.insert(makeBlock(r, WordRange(3, 4)));
     cache.insert(makeBlock(r, WordRange(6, 7)));
 
-    EXPECT_EQ(cache.blocksOfRegion(r).size(), 3u);
-    EXPECT_EQ(cache.overlapping(r, WordRange(1, 3)).size(), 2u);
-    EXPECT_EQ(cache.overlapping(r, WordRange(5, 5)).size(), 0u);
-    EXPECT_EQ(cache.overlapping(r, WordRange(0, 7)).size(), 3u);
+    EXPECT_EQ(regionBlockCount(cache, r), 3u);
+    EXPECT_EQ(overlapCount(cache, r, WordRange(1, 3)), 2u);
+    EXPECT_EQ(overlapCount(cache, r, WordRange(5, 5)), 0u);
+    EXPECT_EQ(overlapCount(cache, r, WordRange(0, 7)), 3u);
 }
 
 TEST(AmoebaCacheDeath, OverlappingInsertPanics)
@@ -113,11 +129,13 @@ TEST(AmoebaCache, MesiDegenerateCaseHoldsFourWays)
     // 288-byte sets with 72-byte full-region blocks = 4 ways.
     AmoebaCache cache(tinyCfg());
     for (unsigned i = 0; i < 4; ++i) {
-        auto evicted = cache.makeRoom(regionInSet0(i), WordRange(0, 7));
+        AmoebaCache::Evicted evicted;
+        cache.makeRoom(regionInSet0(i), WordRange(0, 7), evicted);
         EXPECT_TRUE(evicted.empty());
         cache.insert(makeBlock(regionInSet0(i), WordRange(0, 7)));
     }
-    auto evicted = cache.makeRoom(regionInSet0(4), WordRange(0, 7));
+    AmoebaCache::Evicted evicted;
+    cache.makeRoom(regionInSet0(4), WordRange(0, 7), evicted);
     EXPECT_EQ(evicted.size(), 1u);
 }
 
@@ -127,12 +145,14 @@ TEST(AmoebaCache, FinerBlocksRaiseBlockCount)
     AmoebaCache cache(tinyCfg());
     for (unsigned i = 0; i < 18; ++i) {
         const Addr r = regionInSet0(i);
-        auto evicted = cache.makeRoom(r, WordRange(0, 0));
+        AmoebaCache::Evicted evicted;
+        cache.makeRoom(r, WordRange(0, 0), evicted);
         EXPECT_TRUE(evicted.empty()) << i;
         cache.insert(makeBlock(r, WordRange(0, 0)));
     }
     EXPECT_EQ(cache.blockCount(), 18u);
-    auto evicted = cache.makeRoom(regionInSet0(19), WordRange(0, 0));
+    AmoebaCache::Evicted evicted;
+    cache.makeRoom(regionInSet0(19), WordRange(0, 0), evicted);
     EXPECT_EQ(evicted.size(), 1u);
 }
 
@@ -146,7 +166,8 @@ TEST(AmoebaCache, MakeRoomEvictsLruFirst)
 
     // Refresh block 0 so block 1 becomes LRU.
     cache.touchLru(first);
-    auto evicted = cache.makeRoom(regionInSet0(9), WordRange(0, 7));
+    AmoebaCache::Evicted evicted;
+    cache.makeRoom(regionInSet0(9), WordRange(0, 7), evicted);
     ASSERT_EQ(evicted.size(), 1u);
     EXPECT_EQ(evicted[0].region, regionInSet0(1));
 }
@@ -162,8 +183,8 @@ TEST(AmoebaCache, MakeRoomMayEvictSeveralSmallBlocks)
     cache.insert(makeBlock(r, WordRange(4, 4)));
     cache.insert(makeBlock(r, WordRange(6, 6)));  // 4 x 16B = 64B used
 
-    auto evicted =
-        cache.makeRoom(regionInSet0(1), WordRange(0, 7));  // needs 72B
+    AmoebaCache::Evicted evicted;
+    cache.makeRoom(regionInSet0(1), WordRange(0, 7), evicted);  // 72B
     EXPECT_EQ(evicted.size(), 3u);  // down to 16B used
 }
 

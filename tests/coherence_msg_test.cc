@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "protocol/coherence_msg.hh"
 
 namespace protozoa {
@@ -24,12 +26,41 @@ TEST(CoherenceMsg, DataSizeCountsAllSegments)
 {
     CoherenceMsg msg;
     msg.type = MsgType::WB_RESP;
-    msg.data.emplace_back(WordRange(0, 2),
-                          std::vector<std::uint64_t>{1, 2, 3});
-    msg.data.emplace_back(WordRange(5, 6),
-                          std::vector<std::uint64_t>{4, 5});
+    const std::uint64_t run1[] = {1, 2, 3};
+    const std::uint64_t run2[] = {4, 5};
+    msg.data.addRun(WordRange(0, 2), run1);
+    msg.data.addRun(WordRange(5, 6), run2);
     EXPECT_EQ(msg.dataWords(), 5u);
     EXPECT_EQ(msg.sizeBytes(8), 8u + 5 * 8u);
+}
+
+TEST(MsgData, SetAtAndVisitAscending)
+{
+    MsgData data;
+    EXPECT_TRUE(data.empty());
+    data.set(6, 60);
+    data.set(1, 10);
+    data.set(3, 30);
+    EXPECT_EQ(data.count(), 3u);
+    EXPECT_TRUE(data.has(3));
+    EXPECT_FALSE(data.has(2));
+    EXPECT_EQ(data.at(6), 60u);
+
+    std::vector<unsigned> order;
+    data.forEachWord([&](unsigned w, std::uint64_t v) {
+        order.push_back(w);
+        EXPECT_EQ(v, w * 10u);
+    });
+    EXPECT_EQ(order, (std::vector<unsigned>{1, 3, 6}));
+}
+
+TEST(MsgDataDeath, OverlappingRunsPanic)
+{
+    MsgData data;
+    const std::uint64_t run[] = {1, 2, 3};
+    data.addRun(WordRange(0, 2), run);
+    EXPECT_DEATH(data.addRun(WordRange(2, 4), run),
+                 "overlapping payload segments");
 }
 
 TEST(CoherenceMsg, CtrlClassMapping)

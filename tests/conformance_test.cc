@@ -144,6 +144,46 @@ TEST(DeadlockWatchdog, FiresOnWedgedTransaction)
     // The dump includes the home directory's view of the region.
     EXPECT_NE(diagnostic.find("dir"), std::string::npos);
     EXPECT_NE(diagnostic.find("waiting UNBLOCK"), std::string::npos);
+    // ... and the in-flight message census (empty here: the wedging
+    // filter dropped the DATA before it entered the mesh).
+    EXPECT_NE(diagnostic.find("in-flight messages: 0"),
+              std::string::npos);
+}
+
+// The census must list a message that is genuinely on the wire when
+// the watchdog fires: hold the fill hostage by inflating its latency
+// via the message-size path is not possible, so instead enqueue a
+// message with a far-future arrival directly and scan the tracker.
+TEST(DeadlockWatchdog, InFlightCensusListsQueuedMessages)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+    ProtocolDriver d(cfg);
+
+    std::string diagnostic;
+    d.sys.enableWatchdog(500, [&](const std::string &report) {
+        diagnostic = report;
+    });
+    d.sys.setMessageFilter([](const CoherenceMsg &msg) {
+        return msg.type != MsgType::DATA;
+    });
+
+    Mesh::QueuedMsg q;
+    q.src = 2;
+    q.dst = 5;
+    q.arrival = 1'000'000;   // far beyond the watchdog horizon
+    q.type = "DATA";
+    q.region = 0x9000;
+    q.range = WordRange(0, 7);
+    d.sys.mesh().noteQueued(q);
+
+    d.issue(0, 0x9000, false);
+    d.drain();
+
+    EXPECT_NE(diagnostic.find("in-flight messages: 1"),
+              std::string::npos);
+    EXPECT_NE(diagnostic.find("2 -> 5 (l1): DATA region 0x9000"),
+              std::string::npos);
 }
 
 TEST(DeadlockWatchdog, StaysQuietOnHealthyRuns)
@@ -201,6 +241,29 @@ TEST(StressCampaign, SmokeRunPassesAndMergesCoverage)
     ASSERT_EQ(res.coverage.size(), 1u);
     EXPECT_GT(res.coverage[0].hitRows(), 0u);
     EXPECT_NE(res.report().find("stress campaign"), std::string::npos);
+}
+
+TEST(StressCampaign, SmallSystemGridRunsFourCoreJobs)
+{
+    CampaignSpec spec = CampaignSpec::smallSystem();
+    EXPECT_EQ(spec.numCores, 4u);
+    EXPECT_EQ(spec.meshCols * spec.meshRows, 4u);
+    EXPECT_EQ(spec.seeds.size(), 80u);   // ~10x the default seed count
+
+    // Shrink the grid for a smoke run; the per-job system size is the
+    // point under test.
+    spec.protocols = {ProtocolKind::ProtozoaMW};
+    spec.profiles = {{"wild", true, 16, 0.10}};
+    spec.patterns = {RandomTester::Pattern::FalseShareBoundary};
+    spec.seeds = {1, 2, 3};
+    spec.accessesPerCore = 300;
+    spec.workers = 2;
+
+    const CampaignResult res = runCampaign(spec);
+    EXPECT_EQ(res.jobs, 3u);
+    EXPECT_EQ(res.accesses, 3u * 300u * 4u);   // 4 cores per system
+    EXPECT_EQ(res.valueViolations, 0u);
+    EXPECT_EQ(res.invariantViolations, 0u);
 }
 
 TEST(FaultInjection, RandomTesterIsSeedDeterministic)

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "common/rng.hh"
 #include "mem/golden_memory.hh"
 
 namespace protozoa {
@@ -49,6 +52,54 @@ TEST(WordStore, TouchedWordsCountsDistinctWords)
     s.write(0x104, 2);   // same word
     s.write(0x108, 3);   // next word
     EXPECT_EQ(s.touchedWords(), 2u);
+}
+
+// Property test for the paged open-addressing store: a long random
+// mix of writes and reads over enough pages to force several table
+// growths must agree word-for-word with a reference std::map overlay.
+TEST(WordStore, RandomWritesMatchReferenceMap)
+{
+    WordStore s;
+    std::map<Addr, std::uint64_t> ref;
+    Rng rng(13);
+
+    const unsigned kRegions = 1024;   // well past the initial capacity
+    const Addr span = static_cast<Addr>(kRegions) * 128;
+    for (int i = 0; i < 50000; ++i) {
+        // Unaligned addresses alias to their containing word.
+        const Addr addr = rng.below(span);
+        if (rng.chance(0.5)) {
+            const std::uint64_t v = rng.next();
+            s.write(addr, v);
+            ref[wordAlign(addr)] = v;
+        } else {
+            const auto it = ref.find(wordAlign(addr));
+            const std::uint64_t expect = it != ref.end()
+                ? it->second
+                : WordStore::initialValue(wordAlign(addr));
+            ASSERT_EQ(s.read(addr), expect) << "addr 0x" << std::hex
+                                            << addr;
+        }
+    }
+    EXPECT_EQ(s.touchedWords(), ref.size());
+
+    // Full sweep: every word in the span, written or not.
+    for (Addr wa = 0; wa < span; wa += kWordBytes) {
+        const auto it = ref.find(wa);
+        const std::uint64_t expect = it != ref.end()
+            ? it->second
+            : WordStore::initialValue(wa);
+        ASSERT_EQ(s.read(wa), expect) << "addr 0x" << std::hex << wa;
+    }
+}
+
+TEST(WordStore, ClearForgetsEverything)
+{
+    WordStore s;
+    s.write(0x9000, 5);
+    s.clear();
+    EXPECT_EQ(s.touchedWords(), 0u);
+    EXPECT_EQ(s.read(0x9000), WordStore::initialValue(0x9000));
 }
 
 TEST(GoldenMemory, CleanLoadPasses)

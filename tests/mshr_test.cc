@@ -58,6 +58,16 @@ TEST(MshrFile, FreeAbsentPanics)
     EXPECT_DEATH(mshrs.free(0x1000), "freeing absent MSHR");
 }
 
+/** Collect the overlap visitor's output for easy assertions. */
+std::vector<PendingWb>
+overlappingSegments(const WbBuffer &buf, Addr region, WordRange r)
+{
+    std::vector<PendingWb> out;
+    buf.forEachOverlapping(
+        region, r, [&](const PendingWb &wb) { out.push_back(wb); });
+    return out;
+}
+
 PendingWb
 wbFor(WordRange range, bool last = false, bool demote = false)
 {
@@ -95,7 +105,7 @@ TEST(WbBuffer, FifoOrderPerRegion)
     buf.push(0x40, wbFor(WordRange(4, 5)));
     EXPECT_EQ(buf.pendingCount(), 2u);
     buf.popFront(0x40);
-    auto rest = buf.overlappingSegments(0x40, WordRange(0, 7));
+    auto rest = overlappingSegments(buf, 0x40, WordRange(0, 7));
     ASSERT_EQ(rest.size(), 1u);
     EXPECT_EQ(rest[0].seg.range, WordRange(4, 5));
 }
@@ -107,10 +117,10 @@ TEST(WbBuffer, OverlappingSegmentsFilterByRange)
     buf.push(0x40, wbFor(WordRange(6, 7)));
     buf.push(0x80, wbFor(WordRange(3, 3)));
 
-    EXPECT_EQ(buf.overlappingSegments(0x40, WordRange(0, 7)).size(), 2u);
-    EXPECT_EQ(buf.overlappingSegments(0x40, WordRange(1, 5)).size(), 1u);
-    EXPECT_EQ(buf.overlappingSegments(0x40, WordRange(2, 5)).size(), 0u);
-    EXPECT_EQ(buf.overlappingSegments(0xc0, WordRange(0, 7)).size(), 0u);
+    EXPECT_EQ(overlappingSegments(buf, 0x40, WordRange(0, 7)).size(), 2u);
+    EXPECT_EQ(overlappingSegments(buf, 0x40, WordRange(1, 5)).size(), 1u);
+    EXPECT_EQ(overlappingSegments(buf, 0x40, WordRange(2, 5)).size(), 0u);
+    EXPECT_EQ(overlappingSegments(buf, 0xc0, WordRange(0, 7)).size(), 0u);
 }
 
 TEST(WbBuffer, SegmentsCarryDataAndFlags)
@@ -120,9 +130,9 @@ TEST(WbBuffer, SegmentsCarryDataAndFlags)
     wb.seg.words = {11, 22};
     buf.push(0x40, wb);
 
-    auto found = buf.overlappingSegments(0x40, WordRange(3, 3));
+    auto found = overlappingSegments(buf, 0x40, WordRange(3, 3));
     ASSERT_EQ(found.size(), 1u);
-    EXPECT_EQ(found[0].seg.words, (std::vector<std::uint64_t>{11, 22}));
+    EXPECT_EQ(found[0].seg.words, (WordsVec{11, 22}));
     EXPECT_TRUE(found[0].last);
 }
 
