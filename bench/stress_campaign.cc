@@ -19,6 +19,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "check/campaign_shrink.hh"
 #include "protozoa/protozoa.hh"
 #include "sim/stress_campaign.hh"
 
@@ -54,5 +55,18 @@ main(int argc, char **argv)
 
     const CampaignResult res = runCampaign(spec);
     std::cout << res.report(verbose);
+    if (!res.failures.empty()) {
+        // Auto-shrink the first (canonically ordered) failure so the
+        // console already carries a small repro.
+        std::printf("auto-shrinking first failure...\n");
+        if (auto shrunk = check::shrinkCampaignFailure(res.failures[0])) {
+            std::cout << shrunk->summary;
+            if (shrunk->minimized)
+                std::cout << shrunk->minimized->repro;
+        } else {
+            std::printf("failure did not reproduce serially; "
+                        "re-run the grid point by hand\n");
+        }
+    }
     return res.passed() ? 0 : 1;
 }

@@ -183,6 +183,23 @@ class WbBuffer
     bool hasPending(Addr region) const { return queues.contains(region); }
 
     /**
+     * Visit every buffered writeback as (region, wb), oldest first
+     * within a region; region order is unspecified (hash-table order),
+     * so canonicalizing consumers must sort by region themselves.
+     */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        queues.forEach(
+            [&](Addr region, const PooledFifo<PendingWb>::Queue &q) {
+                pool.forEach(q, [&](const PendingWb &wb) {
+                    fn(region, wb);
+                });
+            });
+    }
+
+    /**
      * True if a buffered writeback of @p region was NOT collected by a
      * probe for range @p r (i.e. lies entirely outside it). The probe
      * response must then keep this core tracked at the directory, or

@@ -1,0 +1,323 @@
+#include "check/explorer.hh"
+
+#include <memory>
+#include <sstream>
+#include <unordered_set>
+
+#include "check/state_fingerprint.hh"
+#include "sim/system.hh"
+
+namespace protozoa::check {
+
+namespace {
+
+Workload
+emptyWorkload(unsigned cores)
+{
+    Workload wl;
+    for (unsigned c = 0; c < cores; ++c)
+        wl.push_back(
+            std::make_unique<VectorTrace>(std::vector<TraceRecord>{}));
+    return wl;
+}
+
+/**
+ * One live execution of a scenario: a System driven access-by-access,
+ * advanced from quiescent point to quiescent point by delivering one
+ * parked message at a time. Heap-allocated and pinned: the per-core
+ * completion callbacks capture `this`.
+ */
+class Run
+{
+  public:
+    Run(const Scenario &s, ProtocolKind proto)
+        : scenario(s), cfg(s.toConfig(proto)),
+          sys(cfg, emptyWorkload(cfg.numCores))
+    {
+        perCore.resize(cfg.numCores);
+        for (std::size_t i = 0; i < s.accesses.size(); ++i)
+            perCore[s.accesses[i].core].push_back(i);
+        issued.assign(cfg.numCores, 0);
+        completed.assign(cfg.numCores, 0);
+        regions = s.regionFootprint();
+
+        for (CoreId c = 0; c < cfg.numCores; ++c)
+            issueNext(c);
+        quiesce();
+    }
+
+    Run(const Run &) = delete;
+    Run &operator=(const Run &) = delete;
+
+    /** Deliverable channels at this quiescent point. */
+    unsigned width() const { return static_cast<unsigned>(frontier.size()); }
+
+    /** Describe the head message of frontier channel @p k. */
+    ScheduleStep
+    describe(unsigned k)
+    {
+        ScheduleStep step;
+        step.src = frontier[k].first;
+        step.dst = frontier[k].second;
+        sys.mesh().forEachParkedChannel([&](unsigned src, unsigned dst,
+                                            const std::deque<Mesh::Parked>
+                                                &chan) {
+            if (src != step.src || dst != step.dst)
+                return;
+            const Mesh::Parked &p = chan.front();
+            std::ostringstream os;
+            os << p.type << " region=0x" << std::hex << p.region
+               << std::dec << " words=" << p.range.toString() << " n"
+               << src << " -> " << (p.dstIsDir ? "dir" : "l1") << dst;
+            step.desc = os.str();
+        });
+        return step;
+    }
+
+    /** Deliver the head of frontier channel @p k and run to quiescence. */
+    void
+    step(unsigned k)
+    {
+        sys.mesh().deliverParked(frontier[k].first, frontier[k].second);
+        quiesce();
+    }
+
+    std::uint64_t
+    fingerprint()
+    {
+        return fingerprintSystem(sys, regions, completed);
+    }
+
+    /**
+     * Run the invariant oracles. @p terminal marks an empty frontier,
+     * where unfinished work means deadlock rather than in-flight state.
+     */
+    std::optional<Violation>
+    check(bool terminal)
+    {
+        if (auto err = sys.checkCoherenceInvariant()) {
+            Violation v;
+            v.kind = "swmr";
+            v.detail = *err;
+            return v;
+        }
+        if (sys.valueViolations() > 0) {
+            Violation v;
+            v.kind = "value";
+            std::ostringstream os;
+            GoldenMemory &g = sys.goldenMemory();
+            os << "load of 0x" << std::hex << g.lastViolationAddr()
+               << " observed 0x" << g.lastObservedValue()
+               << ", golden memory expects 0x" << g.lastExpectedValue();
+            v.detail = os.str();
+            return v;
+        }
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            std::optional<Violation> bad;
+            sys.l1(c).cacheStorage().forEach([&](const AmoebaBlock &b) {
+                if (bad)
+                    return;
+                const TileId home = static_cast<TileId>(
+                    (b.region / cfg.regionBytes) % cfg.l2Tiles);
+                if (sys.dir(home).view(b.region).present ||
+                    sys.dir(home).hasActiveTxn(b.region))
+                    return;
+                Violation v;
+                v.kind = "inclusion";
+                std::ostringstream os;
+                os << "core " << unsigned(c) << " caches region 0x"
+                   << std::hex << b.region
+                   << " unknown to its home directory tile "
+                   << std::dec << unsigned(home);
+                v.detail = os.str();
+                bad = std::move(v);
+            });
+            if (bad)
+                return bad;
+        }
+        if (terminal) {
+            if (auto v = deadlockCheck())
+                return v;
+        }
+        return std::nullopt;
+    }
+
+  private:
+    std::optional<Violation>
+    deadlockCheck()
+    {
+        std::ostringstream os;
+        bool stuck = false;
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            if (completed[c] < perCore[c].size()) {
+                os << " core " << unsigned(c) << " finished "
+                   << completed[c] << "/" << perCore[c].size()
+                   << " accesses;";
+                stuck = true;
+            }
+            if (sys.l1(c).mshrFile().size() > 0) {
+                os << " core " << unsigned(c) << " has an outstanding "
+                   << "MSHR;";
+                stuck = true;
+            }
+            if (sys.l1(c).writebackBuffer().pendingCount() > 0) {
+                os << " core " << unsigned(c)
+                   << " has an unacknowledged writeback;";
+                stuck = true;
+            }
+        }
+        for (TileId t = 0; t < cfg.l2Tiles; ++t) {
+            if (!sys.dir(t).activeTxns().empty()) {
+                os << " tile " << unsigned(t)
+                   << " has an active transaction;";
+                stuck = true;
+            }
+        }
+        if (!stuck)
+            return std::nullopt;
+        Violation v;
+        v.kind = "deadlock";
+        v.detail = "no deliverable message left but:" + os.str();
+        return v;
+    }
+
+    void
+    issueNext(CoreId c)
+    {
+        if (issued[c] >= perCore[c].size())
+            return;
+        const ScenarioAccess &sa = scenario.accesses[perCore[c][issued[c]]];
+        ++issued[c];
+        MemAccess acc;
+        acc.addr = sa.addr;
+        acc.isWrite = sa.isWrite;
+        acc.storeValue = sa.value;
+        acc.pc = sa.pc;
+        sys.l1(c).requestAccess(acc, [this, c](std::uint64_t) {
+            ++completed[c];
+            issueNext(c);
+        });
+    }
+
+    /** Drain the event queue, then recompute the frontier. */
+    void
+    quiesce()
+    {
+        sys.eventQueue().run();
+        frontier.clear();
+        sys.mesh().forEachParkedChannel(
+            [&](unsigned src, unsigned dst,
+                const std::deque<Mesh::Parked> &) {
+                frontier.emplace_back(src, dst);
+            });
+    }
+
+    const Scenario &scenario;
+    const SystemConfig cfg;
+    System sys;
+
+    /** Scenario access indices per core, in program order. */
+    std::vector<std::vector<std::size_t>> perCore;
+    std::vector<std::size_t> issued;
+    std::vector<unsigned> completed;
+    std::vector<Addr> regions;
+
+    /** Non-empty channels at the current quiescent point, canonical. */
+    std::vector<std::pair<unsigned, unsigned>> frontier;
+};
+
+} // namespace
+
+ExploreResult
+explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
+{
+    ExploreResult res;
+    // The PcSpatial predictor folds the whole access history into its
+    // table, which the fingerprint does not cover; two fingerprints
+    // may then collide across genuinely different futures. Fall back
+    // to budget-bounded exhaustive search without memoization.
+    const bool memo_ok = s.predictor != PredictorKind::PcSpatial;
+    std::unordered_set<std::uint64_t> memo;
+
+    std::vector<unsigned> path;
+    std::vector<unsigned> widths;
+    std::vector<ScheduleStep> steps;
+    auto run = std::make_unique<Run>(s, proto);
+
+    for (;;) {
+        const unsigned width = run->width();
+        if (auto v = run->check(width == 0)) {
+            v->schedule = path;
+            v->steps = steps;
+            res.violation = std::move(v);
+            return res;
+        }
+
+        bool leaf = (width == 0);
+        if (leaf)
+            ++res.schedulesCompleted;
+        if (!leaf && memo_ok && !memo.insert(run->fingerprint()).second) {
+            ++res.memoHits;
+            leaf = true;
+        }
+
+        if (!leaf) {
+            if (++res.statesVisited > lim.maxStates ||
+                path.size() >= lim.maxDepth) {
+                res.budgetExhausted = true;
+                return res;
+            }
+            path.push_back(0);
+            widths.push_back(width);
+            steps.push_back(run->describe(0));
+            run->step(0);
+            continue;
+        }
+
+        // Backtrack to the deepest level with an untried choice, then
+        // rebuild a fresh run and replay the prefix (deterministic).
+        while (!path.empty() && path.back() + 1 >= widths.back()) {
+            path.pop_back();
+            widths.pop_back();
+            steps.pop_back();
+        }
+        if (path.empty())
+            return res;
+        ++path.back();
+        run = std::make_unique<Run>(s, proto);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i)
+            run->step(path[i]);
+        steps.back() = run->describe(path.back());
+        run->step(path.back());
+    }
+}
+
+std::optional<Violation>
+replaySchedule(const Scenario &s, ProtocolKind proto,
+               const std::vector<unsigned> &prefix)
+{
+    auto run = std::make_unique<Run>(s, proto);
+    std::vector<unsigned> path;
+    std::vector<ScheduleStep> steps;
+    std::size_t i = 0;
+    const ExploreLimits lim;
+    for (;;) {
+        const unsigned width = run->width();
+        if (auto v = run->check(width == 0)) {
+            v->schedule = path;
+            v->steps = steps;
+            return v;
+        }
+        if (width == 0 || path.size() >= lim.maxDepth)
+            return std::nullopt;
+        unsigned k = (i < prefix.size()) ? prefix[i] : 0;
+        if (k >= width)
+            k = 0;
+        ++i;
+        path.push_back(k);
+        steps.push_back(run->describe(k));
+        run->step(k);
+    }
+}
+
+} // namespace protozoa::check

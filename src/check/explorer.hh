@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bounded schedule explorer ("protocheck"): exhaustive enumeration of
+ * cross-channel message-delivery interleavings for one scenario.
+ *
+ * The mesh's schedule oracle parks every sent message on its
+ * per-(src,dst) FIFO channel. Between deliveries the event queue runs
+ * dry — a *quiescent point* where the only pending work is the parked
+ * message set. The explorer's choice point is which channel head to
+ * deliver next; same-channel FIFO order is preserved by construction
+ * (the one network ordering assumption the protocol makes), so the
+ * explored space is exactly the set of legal network behaviours.
+ *
+ * Search is depth-first with replay-based backtracking: descending
+ * extends the live System in place; backtracking rebuilds a fresh
+ * System and replays the choice prefix (the simulator is deterministic
+ * given a schedule, so replay is exact). Visited states are memoized
+ * by canonical fingerprint (state_fingerprint.hh), collapsing
+ * confluent interleavings.
+ *
+ * At every quiescent point the invariant oracles run:
+ *  - word-level SWMR (System::checkCoherenceInvariant),
+ *  - load values against golden memory,
+ *  - L1/L2 inclusion (every cached region is directory-present or has
+ *    an active transaction),
+ *  - no-deadlock (an empty frontier with incomplete accesses or
+ *    outstanding MSHR/writeback/transaction state).
+ */
+
+#ifndef PROTOZOA_CHECK_EXPLORER_HH
+#define PROTOZOA_CHECK_EXPLORER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hh"
+
+namespace protozoa::check {
+
+struct ExploreLimits
+{
+    /** Expanded-state budget; exceeding it aborts the search. */
+    std::uint64_t maxStates = 200000;
+    /** Schedule-depth bound (messages delivered along one path). */
+    unsigned maxDepth = 512;
+};
+
+/** One delivery decision, for human-readable counterexamples. */
+struct ScheduleStep
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+    std::string desc;
+};
+
+struct Violation
+{
+    /** "swmr", "value", "inclusion", or "deadlock". */
+    std::string kind;
+    std::string detail;
+    /** Channel-choice index at each quiescent point from the root. */
+    std::vector<unsigned> schedule;
+    /** One description per schedule entry. */
+    std::vector<ScheduleStep> steps;
+};
+
+struct ExploreResult
+{
+    std::uint64_t statesVisited = 0;
+    std::uint64_t schedulesCompleted = 0;
+    std::uint64_t memoHits = 0;
+    bool budgetExhausted = false;
+    std::optional<Violation> violation;
+};
+
+/** Exhaustively explore @p s under @p proto (up to the limits). */
+ExploreResult explore(const Scenario &s, ProtocolKind proto,
+                      const ExploreLimits &lim = {});
+
+/**
+ * Deterministically replay @p prefix (clamping stale indices), then
+ * complete with first-channel choices; @return the violation hit, if
+ * any. The returned schedule covers the full executed path.
+ */
+std::optional<Violation>
+replaySchedule(const Scenario &s, ProtocolKind proto,
+               const std::vector<unsigned> &prefix);
+
+} // namespace protozoa::check
+
+#endif // PROTOZOA_CHECK_EXPLORER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Counterexample minimizer: shrink a violating scenario to a locally
+ * minimal access set, then shrink its schedule to the shortest
+ * violating choice prefix, and emit a ready-to-paste repro.
+ *
+ * Access shrinking is greedy delta debugging: repeatedly drop any
+ * single access whose removal keeps *some* violation reachable (each
+ * probe is a full bounded exploration, so the violation may move — any
+ * violation counts). Schedule shrinking replays increasing prefixes of
+ * the found schedule with canonical (first-channel) completion and
+ * keeps the shortest prefix that still fails.
+ */
+
+#ifndef PROTOZOA_CHECK_MINIMIZER_HH
+#define PROTOZOA_CHECK_MINIMIZER_HH
+
+#include <optional>
+#include <string>
+
+#include "check/explorer.hh"
+#include "check/scenario.hh"
+
+namespace protozoa::check {
+
+struct MinimizeResult
+{
+    /** Locally minimal scenario (no single access can be dropped). */
+    Scenario scenario;
+    /** The violation the minimized scenario reaches. */
+    Violation violation;
+    /** Minimal choice prefix that forces it (see replaySchedule). */
+    std::vector<unsigned> schedule;
+    /** Ready-to-paste ProtocolDriver-style reproduction. */
+    std::string repro;
+    /** States expanded across all shrinking probes. */
+    std::uint64_t statesExplored = 0;
+};
+
+/**
+ * Minimize @p s under @p proto. @return nullopt when the initial
+ * exploration finds no violation within the limits.
+ */
+std::optional<MinimizeResult> minimize(const Scenario &s,
+                                       ProtocolKind proto,
+                                       const ExploreLimits &lim = {});
+
+/** Render the repro text (also used by minimize()). */
+std::string buildRepro(const Scenario &s, ProtocolKind proto,
+                       const Violation &v);
+
+} // namespace protozoa::check
+
+#endif // PROTOZOA_CHECK_MINIMIZER_HH

@@ -1,0 +1,209 @@
+#include "check/scenario.hh"
+
+#include <algorithm>
+
+#include "cache/amoeba_cache.hh"
+
+namespace protozoa::check {
+
+SystemConfig
+Scenario::toConfig(ProtocolKind proto) const
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.predictor = predictor;
+    cfg.fixedFetchWords = fixedFetchWords;
+    cfg.directory = directory;
+    cfg.threeHop = threeHop;
+    cfg.debugLostStoreBug = debugLostStoreBug;
+
+    cfg.numCores = numCores;
+    cfg.l2Tiles = numCores;
+    cfg.meshCols = numCores;
+    cfg.meshRows = 1;
+
+    cfg.regionBytes = regionBytes;
+    cfg.l1Sets = l1Sets;
+    cfg.l1BytesPerSet =
+        l1BytesPerSet != 0
+            ? l1BytesPerSet
+            : 4 * (regionBytes + AmoebaCache::kTagBytes);
+    cfg.l2BytesPerTile = l2BytesPerTile;
+    cfg.l2Assoc = l2Assoc;
+
+    cfg.scheduleOracle = true;
+    cfg.checkValues = true;
+    cfg.faultInjection = false;
+    cfg.occupancyJitter = false;
+    cfg.watchdogCycles = 0;
+    cfg.seed = 1;
+    return cfg;
+}
+
+std::vector<Addr>
+Scenario::regionFootprint() const
+{
+    std::vector<Addr> regions;
+    for (const auto &acc : accesses)
+        regions.push_back(regionBase(acc.addr, regionBytes));
+    std::sort(regions.begin(), regions.end());
+    regions.erase(std::unique(regions.begin(), regions.end()),
+                  regions.end());
+    return regions;
+}
+
+namespace {
+
+constexpr Addr kBase = 0x40000000;
+
+/** Word @p w of region @p r (64-byte regions unless noted). */
+Addr
+wordAddr(unsigned region_bytes, unsigned r, unsigned w)
+{
+    return kBase + static_cast<Addr>(r) * region_bytes +
+           static_cast<Addr>(w) * kWordBytes;
+}
+
+std::vector<Scenario>
+buildLibrary()
+{
+    std::vector<Scenario> lib;
+
+    {
+        // Sec. 3.3: both cores load a word into S, then both try to
+        // upgrade it. One upgrade must lose, get invalidated
+        // mid-flight (SM_B), and retry as a full GETX.
+        Scenario s;
+        s.name = "upgrade-race";
+        s.note = "two cores race S->M upgrades on the same word";
+        s.numCores = 2;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), false, 0},
+            {1, wordAddr(64, 0, 0), false, 0},
+            {0, wordAddr(64, 0, 0), true, 0x0a},
+            {1, wordAddr(64, 0, 0), true, 0x0b},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // False sharing: disjoint words of one region ping-pong
+        // between writers. Adaptive protocols keep both writers
+        // resident; MESI serializes the whole region.
+        Scenario s;
+        s.name = "false-share-pingpong";
+        s.note = "disjoint-word writers of one region, cross reads";
+        s.numCores = 2;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0x1a},
+            {1, wordAddr(64, 0, 7), true, 0x1b},
+            {0, wordAddr(64, 0, 0), true, 0x2a},
+            {1, wordAddr(64, 0, 7), true, 0x2b},
+            {0, wordAddr(64, 0, 7), false, 0},
+            {1, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // The PR 2 lost-store shape: a dirty single-word block is
+        // evicted (PUT in flight) while a partial-range probe for the
+        // *other* word of the region races it to the directory. The
+        // probe response must keep the evictor tracked or the PUT is
+        // classified stale and the store is lost.
+        Scenario s;
+        s.name = "evict-vs-partial-probe";
+        s.note = "in-flight eviction PUT races a non-overlapping probe";
+        s.numCores = 2;
+        s.regionBytes = 16;
+        s.l1Sets = 1;
+        // One single-word block (8 B payload + 8 B tag) fits; the
+        // second store's fill must evict the first block.
+        s.l1BytesPerSet = 24;
+        s.accesses = {
+            {0, wordAddr(16, 0, 0), true, 0xa1},
+            {0, wordAddr(16, 0, 1), true, 0xa2},
+            {1, wordAddr(16, 0, 1), true, 0xb1},
+            {1, wordAddr(16, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // A load installs S, the following store upgrades, and a
+        // third-party writer races the upgrade: the FWD_GETX may
+        // invalidate the upgrade target mid-flight (SM_B retry).
+        Scenario s;
+        s.name = "upgrade-retry";
+        s.note = "probe invalidates an in-flight S->M upgrade target";
+        s.numCores = 2;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), false, 0},
+            {0, wordAddr(64, 0, 0), true, 0x3a},
+            {1, wordAddr(64, 0, 0), true, 0x3b},
+            {1, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Inclusive-eviction recall: a one-entry L2 tile forces the
+        // second region's fill to recall the first region from its
+        // sharers while their traffic is still in flight.
+        Scenario s;
+        s.name = "recall-inclusive";
+        s.note = "L2 conflict recall races the victim's live sharers";
+        s.numCores = 2;
+        s.l2BytesPerTile = 64;
+        s.l2Assoc = 1;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0x4a},
+            // Region index 2 (= l2Tiles) homes on tile 0 as well and
+            // conflicts with region 0 in the single-entry tile.
+            {0, wordAddr(64, 2, 0), true, 0x4b},
+            {1, wordAddr(64, 0, 1), true, 0x4c},
+            {1, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // 3-hop direct supply: the probed owner sends DATA straight to
+        // the requester while the directory still awaits collection.
+        Scenario s;
+        s.name = "threehop-direct";
+        s.note = "owner-to-requester direct DATA with late collection";
+        s.numCores = 2;
+        s.threeHop = true;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0x5a},
+            {1, wordAddr(64, 0, 0), false, 0},
+            {1, wordAddr(64, 0, 0), true, 0x5b},
+            {0, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    return lib;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+scenarioLibrary()
+{
+    static const std::vector<Scenario> lib = buildLibrary();
+    return lib;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const auto &s : scenarioLibrary()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+} // namespace protozoa::check

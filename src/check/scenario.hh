@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Protocheck scenarios: small, fully-specified concurrent access
+ * programs for the bounded schedule explorer.
+ *
+ * A scenario fixes everything about a run except the cross-channel
+ * message delivery order: the system geometry, the per-core access
+ * sequences, and the protocol knobs. The explorer (explorer.hh) then
+ * enumerates every reachable cross-(src,dst) delivery interleaving and
+ * checks the protocol invariants at every quiescent point.
+ *
+ * Scenarios are deliberately tiny (2-4 cores, 1-2 regions, <= 8
+ * accesses): state-space size is exponential in the number of
+ * in-flight messages, and the races of interest (Sec. 3.3 of the
+ * paper, the eviction/probe writeback races) all fit in this budget.
+ */
+
+#ifndef PROTOZOA_CHECK_SCENARIO_HH
+#define PROTOZOA_CHECK_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace protozoa::check {
+
+/** One access of a scenario program (per-core order is preserved). */
+struct ScenarioAccess
+{
+    CoreId core = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+    std::uint64_t value = 0;
+    Pc pc = 0x3000;
+};
+
+struct Scenario
+{
+    std::string name;
+    /** What race the scenario targets (one line, for --list). */
+    std::string note;
+
+    unsigned numCores = 2;
+    unsigned regionBytes = 64;
+    PredictorKind predictor = PredictorKind::WordOnly;
+    unsigned fixedFetchWords = 8;
+    unsigned l1Sets = 1;
+    /** 0 = roomy default (four full-region blocks per set). */
+    unsigned l1BytesPerSet = 0;
+    std::uint64_t l2BytesPerTile = 4096;
+    unsigned l2Assoc = 8;
+    bool threeHop = false;
+    DirectoryKind directory = DirectoryKind::InCacheExact;
+    /** Re-inject the fixed lost-store eviction race (regression). */
+    bool debugLostStoreBug = false;
+
+    std::vector<ScenarioAccess> accesses;
+
+    /**
+     * Full system configuration for one protocol: an N x 1 mesh with
+     * the schedule oracle and the golden-memory value oracle enabled,
+     * and every nondeterminism source other than delivery order
+     * (network/occupancy fault injection) disabled.
+     */
+    SystemConfig toConfig(ProtocolKind proto) const;
+
+    /** Sorted, deduplicated region bases the accesses touch. */
+    std::vector<Addr> regionFootprint() const;
+};
+
+/** The curated scenario library (bench/protocheck and CI). */
+const std::vector<Scenario> &scenarioLibrary();
+
+/** Library scenario by name, or nullptr. */
+const Scenario *findScenario(const std::string &name);
+
+} // namespace protozoa::check
+
+#endif // PROTOZOA_CHECK_SCENARIO_HH

@@ -1,0 +1,229 @@
+#include "check/state_fingerprint.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/system.hh"
+
+namespace protozoa::check {
+
+namespace {
+
+struct Hasher
+{
+    std::uint64_t h = 0x70726f746f7a6f61ULL; // "protozoa"
+
+    void
+    feed(std::uint64_t v)
+    {
+        std::uint64_t z = (h ^ v) + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h = z ^ (z >> 31);
+    }
+};
+
+/** One L1 block, keyed for canonical (set, LRU-rank) ordering. */
+struct BlockSnap
+{
+    unsigned set;
+    std::uint64_t lruStamp;
+    const AmoebaBlock *blk;
+};
+
+void
+feedL1(Hasher &hx, L1Controller &l1, const SystemConfig &cfg)
+{
+    AmoebaCache &cache = l1.cacheStorage();
+    std::vector<BlockSnap> blocks;
+    cache.forEach([&](const AmoebaBlock &b) {
+        blocks.push_back(BlockSnap{cache.setOf(b.region), b.lruStamp, &b});
+    });
+    // Per-set LRU order canonicalizes the absolute stamps: only the
+    // relative recency within a set affects future evictions.
+    std::sort(blocks.begin(), blocks.end(),
+              [](const BlockSnap &a, const BlockSnap &b) {
+                  return std::tie(a.set, a.lruStamp) <
+                         std::tie(b.set, b.lruStamp);
+              });
+    hx.feed(blocks.size());
+    for (const BlockSnap &s : blocks) {
+        const AmoebaBlock &b = *s.blk;
+        hx.feed(s.set);
+        hx.feed(b.region);
+        hx.feed((std::uint64_t(b.range.start) << 8) | b.range.end);
+        hx.feed(static_cast<std::uint64_t>(b.state));
+        hx.feed(b.touched);
+        for (unsigned w = 0; w < b.words.size(); ++w)
+            hx.feed(b.words[w]);
+    }
+
+    std::vector<const MshrEntry *> mshrs;
+    l1.mshrFile().forEach(
+        [&](const MshrEntry &e) { mshrs.push_back(&e); });
+    std::sort(mshrs.begin(), mshrs.end(),
+              [](const MshrEntry *a, const MshrEntry *b) {
+                  return a->region < b->region;
+              });
+    hx.feed(mshrs.size());
+    for (const MshrEntry *e : mshrs) {
+        hx.feed(e->region);
+        hx.feed((std::uint64_t(e->need.start) << 40) |
+                (std::uint64_t(e->need.end) << 32) |
+                (std::uint64_t(e->pred.start) << 8) | e->pred.end);
+        hx.feed((std::uint64_t(e->isWrite) << 2) |
+                (std::uint64_t(e->upgrade) << 1) |
+                std::uint64_t(e->upgradeBroken));
+        hx.feed(e->pc);
+        hx.feed(e->accessAddr);
+        hx.feed(e->storeValue);
+    }
+
+    struct WbSnap
+    {
+        Addr region;
+        unsigned seq;
+        const PendingWb *wb;
+    };
+    std::vector<WbSnap> wbs;
+    Addr last_region = 0;
+    unsigned seq = 0;
+    l1.writebackBuffer().forEach([&](Addr region, const PendingWb &wb) {
+        // forEach is FIFO within a region; a sequence number keeps
+        // that order while the sort canonicalizes the region order.
+        seq = (wbs.empty() || region != last_region) ? 0 : seq + 1;
+        last_region = region;
+        wbs.push_back(WbSnap{region, seq, &wb});
+    });
+    std::sort(wbs.begin(), wbs.end(),
+              [](const WbSnap &a, const WbSnap &b) {
+                  return std::tie(a.region, a.seq) <
+                         std::tie(b.region, b.seq);
+              });
+    hx.feed(wbs.size());
+    for (const WbSnap &s : wbs) {
+        const PendingWb &wb = *s.wb;
+        hx.feed(s.region);
+        hx.feed((std::uint64_t(wb.seg.range.start) << 8) |
+                wb.seg.range.end);
+        for (unsigned w = 0; w < wb.seg.words.size(); ++w)
+            hx.feed(wb.seg.words[w]);
+        hx.feed((std::uint64_t(wb.touched) << 2) |
+                (std::uint64_t(wb.last) << 1) |
+                std::uint64_t(wb.demoteOwner));
+    }
+    (void)cfg;
+}
+
+void
+feedDir(Hasher &hx, DirController &dir)
+{
+    std::vector<DirController::EntrySnap> entries;
+    dir.forEachEntry([&](const DirController::EntrySnap &e) {
+        entries.push_back(e);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const DirController::EntrySnap &a,
+                 const DirController::EntrySnap &b) {
+                  return std::tie(a.setIndex, a.lruStamp) <
+                         std::tie(b.setIndex, b.lruStamp);
+              });
+    hx.feed(entries.size());
+    for (const auto &e : entries) {
+        hx.feed(e.setIndex);
+        hx.feed(e.region);
+        hx.feed((std::uint64_t(e.filling) << 1) | std::uint64_t(e.dirty));
+        hx.feed(e.readers);
+        hx.feed(e.writers);
+        for (unsigned w = 0; w < e.wordCount; ++w)
+            hx.feed(e.words[w]);
+    }
+
+    std::vector<DirController::TxnSnap> txns;
+    dir.forEachTxn(
+        [&](const DirController::TxnSnap &t) { txns.push_back(t); });
+    std::sort(txns.begin(), txns.end(),
+              [](const DirController::TxnSnap &a,
+                 const DirController::TxnSnap &b) {
+                  return a.region < b.region;
+              });
+    hx.feed(txns.size());
+    for (const auto &t : txns) {
+        hx.feed(t.region);
+        hx.feed(static_cast<std::uint64_t>(t.reqType));
+        hx.feed((std::uint64_t(t.requester) << 24) |
+                (std::uint64_t(t.reqRange.start) << 16) |
+                (std::uint64_t(t.reqRange.end) << 8) | t.pending);
+        hx.feed((std::uint64_t(t.recall) << 4) |
+                (std::uint64_t(t.upgrade) << 3) |
+                (std::uint64_t(t.waitingUnblock) << 2) |
+                (std::uint64_t(t.directSupplied) << 1) |
+                std::uint64_t(t.unblocked));
+        hx.feed(t.parentRegion);
+    }
+
+    struct WaitSnap
+    {
+        Addr region;
+        unsigned seq;
+        std::uint64_t hash;
+    };
+    std::vector<WaitSnap> waits;
+    Addr last_region = 0;
+    unsigned seq = 0;
+    dir.forEachWaitingMsg([&](Addr region, const CoherenceMsg &m) {
+        seq = (waits.empty() || region != last_region) ? 0 : seq + 1;
+        last_region = region;
+        waits.push_back(WaitSnap{region, seq, m.fingerprint()});
+    });
+    std::sort(waits.begin(), waits.end(),
+              [](const WaitSnap &a, const WaitSnap &b) {
+                  return std::tie(a.region, a.seq) <
+                         std::tie(b.region, b.seq);
+              });
+    hx.feed(waits.size());
+    for (const auto &w : waits) {
+        hx.feed(w.region);
+        hx.feed(w.hash);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintSystem(System &sys, const std::vector<Addr> &regions,
+                  const std::vector<unsigned> &progress)
+{
+    const SystemConfig &cfg = sys.config();
+    Hasher hx;
+
+    hx.feed(progress.size());
+    for (const unsigned p : progress)
+        hx.feed(p);
+
+    for (CoreId c = 0; c < cfg.numCores; ++c)
+        feedL1(hx, sys.l1(c), cfg);
+    for (TileId t = 0; t < cfg.l2Tiles; ++t)
+        feedDir(hx, sys.dir(t));
+
+    // Parked messages: channels in ascending (src,dst) order, FIFO
+    // within a channel — the canonical in-flight multiset.
+    sys.mesh().forEachParkedChannel(
+        [&](unsigned src, unsigned dst, const std::deque<Mesh::Parked> &chan) {
+            hx.feed((std::uint64_t(src) << 32) | dst);
+            hx.feed(chan.size());
+            for (const Mesh::Parked &p : chan)
+                hx.feed(p.hash);
+        });
+
+    for (const Addr region : regions) {
+        for (unsigned w = 0; w < cfg.regionWords(); ++w) {
+            const Addr addr = region + static_cast<Addr>(w) * kWordBytes;
+            hx.feed(sys.goldenMemory().expected(addr));
+            hx.feed(sys.memoryImage().read(addr));
+        }
+    }
+    return hx.h;
+}
+
+} // namespace protozoa::check

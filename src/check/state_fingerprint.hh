@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Canonical 64-bit fingerprint of a quiescent System state, for the
+ * explorer's state-space memoization.
+ *
+ * Two states that will behave identically under every future schedule
+ * must hash equal; the fingerprint therefore canonicalizes every
+ * container whose iteration order is an implementation artifact
+ * (hash-table order of the flat address tables, insertion order of
+ * cache sets) and strips absolute time (LRU stamps become per-set
+ * ranks; controller busy-until horizons have already passed at a
+ * quiescent point, because the event queue is drained).
+ *
+ * Covered state: per-core access progress, every L1 block (extent,
+ * state, touched mask, payload, per-set LRU rank), MSHR and
+ * writeback-buffer entries, every directory entry (sharer sets, fill
+ * and dirty flags, payload, per-set LRU rank), active transactions and
+ * queued requests, the parked in-flight message multiset (per-channel
+ * FIFO order preserved, channels in canonical ascending order), and
+ * the golden/main-memory words of the scenario's region footprint.
+ *
+ * Not covered: predictor history. The PcSpatial predictor folds the
+ * whole access history into its table, so the explorer disables
+ * memoization for scenarios that use it.
+ */
+
+#ifndef PROTOZOA_CHECK_STATE_FINGERPRINT_HH
+#define PROTOZOA_CHECK_STATE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace protozoa {
+class System;
+}
+
+namespace protozoa::check {
+
+/**
+ * Fingerprint @p sys at a quiescent point (event queue drained, only
+ * parked messages in flight).
+ *
+ * @param regions  sorted region bases whose memory words to cover
+ *                 (Scenario::regionFootprint()).
+ * @param progress completed accesses per core.
+ */
+std::uint64_t fingerprintSystem(System &sys,
+                                const std::vector<Addr> &regions,
+                                const std::vector<unsigned> &progress);
+
+} // namespace protozoa::check
+
+#endif // PROTOZOA_CHECK_STATE_FINGERPRINT_HH

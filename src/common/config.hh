@@ -127,6 +127,31 @@ struct SystemConfig
     double faultReorderProb = 0.05;
 
     /**
+     * Occupancy fault injection: seeded random jitter added to every
+     * L1/directory occupy() reservation, so controller-side timing
+     * races get the same treatment as network races. Off by default:
+     * the occupancy model stays deterministic.
+     */
+    bool occupancyJitter = false;
+    /** Max extra occupancy cycles per reservation (uniform [0, max]). */
+    Cycle occupancyJitterMax = 4;
+
+    /**
+     * Schedule oracle (protocheck): the mesh parks every message in
+     * per-(src,dst) FIFO channels instead of scheduling its delivery,
+     * and an external chooser (the src/check explorer) decides which
+     * channel fires next. Zero overhead when off.
+     */
+    bool scheduleOracle = false;
+
+    /**
+     * Test-only: re-inject the lost-store eviction race that the
+     * WbBuffer::hasUncollected probe patch-up fixed, so the protocheck
+     * regression test can prove the explorer rediscovers it.
+     */
+    bool debugLostStoreBug = false;
+
+    /**
      * Deadlock watchdog: flag any MSHR entry or directory transaction
      * outstanding for more than this many cycles and dump a diagnostic
      * instead of hanging until the event-queue safety net. 0 = off.

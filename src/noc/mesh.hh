@@ -51,6 +51,8 @@ class Mesh
           rng(cfg.seed ^ 0x6d657368ULL),  // "mesh"
           lastArrival(static_cast<std::size_t>(cols) * rows * cols * rows, 0)
     {
+        if (cfg.scheduleOracle)
+            enableScheduleOracle();
     }
 
     /** Manhattan distance between two mesh nodes under XY routing. */
@@ -96,6 +98,18 @@ class Mesh
 
         Cycle latency = 1 + hopLatency * h +
             flitSerialization * (flits > 0 ? flits - 1 : 0);
+
+        if (oracleOn) {
+            // Schedule oracle: park the delivery on its (src,dst)
+            // channel instead of scheduling it; the external chooser
+            // (src/check explorer) fires channels one head at a time,
+            // so per-pair FIFO order holds by construction.
+            auto &chan =
+                parked[static_cast<std::size_t>(src) * nodes + dst];
+            chan.push_back(Parked{std::move(deliver)});
+            ++parkedTotal;
+            return latency;
+        }
 
         if (faultInjection) {
             latency += rng.below(jitterMax + 1);
@@ -163,6 +177,90 @@ class Mesh
         }
     }
 
+    // ---- schedule oracle (protocheck) -------------------------------
+
+    /** One message parked under the schedule oracle. */
+    struct Parked
+    {
+        EventQueue::Callback deliver;
+        /** Canonical content hash (state fingerprinting). */
+        std::uint64_t hash = 0;
+        /** Static message-type name (repro / diagnostics). */
+        const char *type = "?";
+        Addr region = 0;
+        WordRange range;
+        bool dstIsDir = false;
+    };
+
+    /**
+     * Divert every subsequent send() into per-(src,dst) parking
+     * channels; deliveries then happen only via deliverParked(). The
+     * oracle costs one branch when disabled and allocates nothing
+     * until enabled, so the measurement path stays untouched.
+     */
+    void
+    enableScheduleOracle()
+    {
+        oracleOn = true;
+        parked.resize(static_cast<std::size_t>(cols) * rows * cols *
+                      rows);
+    }
+
+    bool scheduleOracleEnabled() const { return oracleOn; }
+
+    /** Messages currently parked across all channels. */
+    std::size_t parkedMessages() const { return parkedTotal; }
+
+    /**
+     * Attach identifying metadata to the most recently parked message
+     * on (src,dst). Called by System::send immediately after send()
+     * parks the delivery (the message content is only visible there).
+     */
+    void
+    annotateParked(unsigned src, unsigned dst, std::uint64_t hash,
+                   const char *type, Addr region, const WordRange &range,
+                   bool dst_is_dir)
+    {
+        auto &chan = parkedChannel(src, dst);
+        PROTO_ASSERT(!chan.empty(), "annotating an empty channel");
+        Parked &p = chan.back();
+        p.hash = hash;
+        p.type = type;
+        p.region = region;
+        p.range = range;
+        p.dstIsDir = dst_is_dir;
+    }
+
+    /**
+     * Visit every non-empty channel in ascending (src,dst) order —
+     * the canonical enumeration the explorer's choice indices and the
+     * state fingerprint both rely on.
+     */
+    template <typename F>
+    void
+    forEachParkedChannel(F &&fn) const
+    {
+        const unsigned nodes = cols * rows;
+        for (std::size_t i = 0; i < parked.size(); ++i) {
+            if (parked[i].empty())
+                continue;
+            fn(static_cast<unsigned>(i / nodes),
+               static_cast<unsigned>(i % nodes), parked[i]);
+        }
+    }
+
+    /** Deliver the FIFO head of channel (src,dst) now. */
+    void
+    deliverParked(unsigned src, unsigned dst)
+    {
+        auto &chan = parkedChannel(src, dst);
+        PROTO_ASSERT(!chan.empty(), "delivering from an empty channel");
+        EventQueue::Callback cb = std::move(chan.front().deliver);
+        chan.pop_front();
+        --parkedTotal;
+        eventq.schedule(0, std::move(cb));
+    }
+
     /**
      * Reset the measurement counters *and* the per-pair FIFO history, so
      * a measurement interval starting here sees no warmup ordering state.
@@ -175,6 +273,15 @@ class Mesh
     }
 
   private:
+    std::deque<Parked> &
+    parkedChannel(unsigned src, unsigned dst)
+    {
+        const unsigned nodes = cols * rows;
+        PROTO_ASSERT(oracleOn, "schedule oracle is not enabled");
+        PROTO_ASSERT(src < nodes && dst < nodes, "channel out of range");
+        return parked[static_cast<std::size_t>(src) * nodes + dst];
+    }
+
     /** Drop tracked messages that were delivered before now. */
     void
     prune()
@@ -203,6 +310,11 @@ class Mesh
     bool tracking = false;
     /** Sent-but-undelivered messages, in send order (tracking only). */
     std::deque<QueuedMsg> inFlight;
+
+    bool oracleOn = false;
+    /** Flat nodes*nodes array of parked-delivery channels (oracle). */
+    std::vector<std::deque<Parked>> parked;
+    std::size_t parkedTotal = 0;
 };
 
 } // namespace protozoa

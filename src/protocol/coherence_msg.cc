@@ -77,4 +77,42 @@ CoherenceMsg::toString() const
     return os.str();
 }
 
+std::uint64_t
+CoherenceMsg::fingerprint() const
+{
+    auto mix = [](std::uint64_t z) {
+        z += 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    std::uint64_t h = 0x70726f746f636865ULL;  // "protoche"
+    auto feed = [&](std::uint64_t v) { h = mix(h ^ v); };
+
+    feed(static_cast<std::uint64_t>(type));
+    feed((std::uint64_t(srcNode) << 32) | dstNode);
+    feed((std::uint64_t(sender) << 17) | requester);
+    feed(region);
+    feed((std::uint64_t(range.start) << 8) | range.end);
+    feed((std::uint64_t(reqFetchRange.start) << 8) | reqFetchRange.end);
+    std::uint64_t flags = 0;
+    flags |= std::uint64_t(dstIsDir) << 0;
+    flags |= std::uint64_t(keepNonOverlap) << 1;
+    flags |= std::uint64_t(revokeWritePerm) << 2;
+    flags |= std::uint64_t(tryDirect) << 3;
+    flags |= std::uint64_t(suppliedDirect) << 4;
+    flags |= std::uint64_t(stillOwner) << 5;
+    flags |= std::uint64_t(stillSharer) << 6;
+    flags |= std::uint64_t(upgrade) << 7;
+    flags |= std::uint64_t(last) << 8;
+    flags |= std::uint64_t(demoteOwner) << 9;
+    flags |= std::uint64_t(static_cast<unsigned>(grant)) << 10;
+    feed(flags);
+    feed(data.valid);
+    data.forEachWord([&](unsigned w, std::uint64_t v) {
+        feed((std::uint64_t(w) << 56) ^ v);
+    });
+    return h;
+}
+
 } // namespace protozoa

@@ -206,6 +206,14 @@ struct CoherenceMsg
     /** Stats class of the header/control portion (Fig. 10). */
     CtrlClass ctrlClass() const;
 
+    /**
+     * Canonical 64-bit content hash: every protocol-visible field,
+     * including the payload words. Two in-flight messages that would
+     * behave identically on delivery hash equal (protocheck uses this
+     * for the in-flight part of the state fingerprint).
+     */
+    std::uint64_t fingerprint() const;
+
     std::string toString() const;
 };
 

@@ -82,6 +82,27 @@ protocolBit(ProtocolKind kind)
     panic("unknown protocol kind");
 }
 
+const char *
+knobProfileName(KnobProfile p)
+{
+    switch (p) {
+      case KnobProfile::Base: return "base";
+      case KnobProfile::ThreeHop: return "3hop";
+      case KnobProfile::BloomDir: return "bloom";
+      case KnobProfile::ThreeHopBloom: return "3hop+bloom";
+    }
+    return "?";
+}
+
+KnobProfile
+knobProfileOf(const SystemConfig &cfg)
+{
+    const bool bloom = cfg.directory == DirectoryKind::TaglessBloom;
+    if (cfg.threeHop)
+        return bloom ? KnobProfile::ThreeHopBloom : KnobProfile::ThreeHop;
+    return bloom ? KnobProfile::BloomDir : KnobProfile::Base;
+}
+
 namespace {
 
 using S = L1State;
@@ -316,8 +337,9 @@ ConformanceCoverage::dirInventory(std::size_t &count)
     return kDirInventory;
 }
 
-ConformanceCoverage::ConformanceCoverage(ProtocolKind protocol)
-    : proto(protocol)
+ConformanceCoverage::ConformanceCoverage(ProtocolKind protocol,
+                                         KnobProfile knob_profile)
+    : proto(protocol), profile(knob_profile)
 {
     const unsigned bit = protocolBit(proto);
     for (const auto &row : kL1Inventory) {
@@ -337,7 +359,8 @@ ConformanceCoverage::recordL1(L1State from, L1Event ev, L1State to)
         panic("undocumented L1 transition under %s: (%s, %s) -> %s",
               protocolName(proto), l1StateName(from), l1EventName(ev),
               l1StateName(to));
-    ++l1Counts[idx(from)][idx(ev)][idx(to)];
+    seen[idx(profile)] = true;
+    ++l1Counts[idx(profile)][idx(from)][idx(ev)][idx(to)];
 }
 
 void
@@ -348,7 +371,8 @@ ConformanceCoverage::recordDir(DirState from, DirEvent ev, DirState to)
               "(%s, %s) -> %s",
               protocolName(proto), dirStateName(from), dirEventName(ev),
               dirStateName(to));
-    ++dirCounts[idx(from)][idx(ev)][idx(to)];
+    seen[idx(profile)] = true;
+    ++dirCounts[idx(profile)][idx(from)][idx(ev)][idx(to)];
 }
 
 void
@@ -356,14 +380,17 @@ ConformanceCoverage::merge(const ConformanceCoverage &other)
 {
     PROTO_ASSERT(other.proto == proto,
                  "merging coverage across protocols");
-    for (unsigned f = 0; f < kNumL1States; ++f)
-        for (unsigned e = 0; e < kNumL1Events; ++e)
-            for (unsigned t = 0; t < kNumL1States; ++t)
-                l1Counts[f][e][t] += other.l1Counts[f][e][t];
-    for (unsigned f = 0; f < kNumDirStates; ++f)
-        for (unsigned e = 0; e < kNumDirEvents; ++e)
-            for (unsigned t = 0; t < kNumDirStates; ++t)
-                dirCounts[f][e][t] += other.dirCounts[f][e][t];
+    for (unsigned p = 0; p < kNumKnobProfiles; ++p) {
+        seen[p] = seen[p] || other.seen[p];
+        for (unsigned f = 0; f < kNumL1States; ++f)
+            for (unsigned e = 0; e < kNumL1Events; ++e)
+                for (unsigned t = 0; t < kNumL1States; ++t)
+                    l1Counts[p][f][e][t] += other.l1Counts[p][f][e][t];
+        for (unsigned f = 0; f < kNumDirStates; ++f)
+            for (unsigned e = 0; e < kNumDirEvents; ++e)
+                for (unsigned t = 0; t < kNumDirStates; ++t)
+                    dirCounts[p][f][e][t] += other.dirCounts[p][f][e][t];
+    }
 }
 
 unsigned
@@ -391,6 +418,24 @@ ConformanceCoverage::hitRows() const
     for (const auto &row : kDirInventory) {
         if ((row.protocols & bit) &&
             dirCount(row.from, row.ev, row.to) > 0)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+ConformanceCoverage::hitRowsAt(KnobProfile p) const
+{
+    const unsigned bit = protocolBit(proto);
+    unsigned n = 0;
+    for (const auto &row : kL1Inventory) {
+        if ((row.protocols & bit) &&
+            l1CountAt(p, row.from, row.ev, row.to) > 0)
+            ++n;
+    }
+    for (const auto &row : kDirInventory) {
+        if ((row.protocols & bit) &&
+            dirCountAt(p, row.from, row.ev, row.to) > 0)
             ++n;
     }
     return n;
@@ -425,6 +470,16 @@ ConformanceCoverage::report(bool verbose) const
     if (bad > 0)
         os << " (" << bad << " missed without explanation)";
     os << "\n";
+
+    // Per-knob-profile breakdown, for the profiles that actually ran.
+    for (unsigned p = 0; p < kNumKnobProfiles; ++p) {
+        const auto kp = static_cast<KnobProfile>(p);
+        if (!profileSeen(kp))
+            continue;
+        os << "  knobs " << knobProfileName(kp) << ": "
+           << hitRowsAt(kp) << "/" << documentedRows()
+           << " documented rows hit\n";
+    }
 
     auto emitL1 = [&](bool hit) {
         for (const auto &row : kL1Inventory) {

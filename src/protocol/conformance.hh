@@ -94,6 +94,27 @@ constexpr unsigned P_PARTIAL = P_SW | P_SWMR | P_MW;
 
 unsigned protocolBit(ProtocolKind kind);
 
+/**
+ * Configuration-knob profile a transition was observed under. The same
+ * abstract protocol table must hold with 3-hop forwarding and/or the
+ * Bloom-summarized directory enabled; tracking the profile per observed
+ * tuple shows which table corners each knob combination actually
+ * exercised (e.g. a NACK-retry row hit only under TaglessBloom).
+ */
+enum class KnobProfile : std::uint8_t
+{
+    Base,           ///< 4-hop, exact in-cache directory
+    ThreeHop,       ///< cfg.threeHop
+    BloomDir,       ///< cfg.directory == TaglessBloom
+    ThreeHopBloom,  ///< both knobs
+};
+constexpr unsigned kNumKnobProfiles = 4;
+
+const char *knobProfileName(KnobProfile p);
+
+/** Profile of a system configuration's coherence knobs. */
+KnobProfile knobProfileOf(const SystemConfig &cfg);
+
 /** One documented row of the L1 transition table. */
 struct L1TransitionDoc
 {
@@ -128,9 +149,11 @@ struct DirTransitionDoc
 class ConformanceCoverage
 {
   public:
-    explicit ConformanceCoverage(ProtocolKind protocol);
+    explicit ConformanceCoverage(ProtocolKind protocol,
+                                 KnobProfile profile = KnobProfile::Base);
 
     ProtocolKind protocol() const { return proto; }
+    KnobProfile knobProfile() const { return profile; }
 
     /** Record one L1 transition; panics when undocumented. */
     void recordL1(L1State from, L1Event ev, L1State to);
@@ -138,20 +161,47 @@ class ConformanceCoverage
     /** Record one directory transition; panics when undocumented. */
     void recordDir(DirState from, DirEvent ev, DirState to);
 
-    /** Accumulate @p other (same protocol) into this matrix. */
+    /** Accumulate @p other (same protocol, any profile) into this. */
     void merge(const ConformanceCoverage &other);
 
+    /** Observation count summed across every knob profile. */
     std::uint64_t
     l1Count(L1State from, L1Event ev, L1State to) const
     {
-        return l1Counts[idx(from)][idx(ev)][idx(to)];
+        std::uint64_t n = 0;
+        for (unsigned p = 0; p < kNumKnobProfiles; ++p)
+            n += l1Counts[p][idx(from)][idx(ev)][idx(to)];
+        return n;
     }
 
     std::uint64_t
     dirCount(DirState from, DirEvent ev, DirState to) const
     {
-        return dirCounts[idx(from)][idx(ev)][idx(to)];
+        std::uint64_t n = 0;
+        for (unsigned p = 0; p < kNumKnobProfiles; ++p)
+            n += dirCounts[p][idx(from)][idx(ev)][idx(to)];
+        return n;
     }
+
+    /** Observation count under one specific knob profile. */
+    std::uint64_t
+    l1CountAt(KnobProfile p, L1State from, L1Event ev, L1State to) const
+    {
+        return l1Counts[idx(p)][idx(from)][idx(ev)][idx(to)];
+    }
+
+    std::uint64_t
+    dirCountAt(KnobProfile p, DirState from, DirEvent ev,
+               DirState to) const
+    {
+        return dirCounts[idx(p)][idx(from)][idx(ev)][idx(to)];
+    }
+
+    /** True when at least one transition ran under profile @p p. */
+    bool profileSeen(KnobProfile p) const { return seen[idx(p)]; }
+
+    /** Documented rows hit under one specific knob profile. */
+    unsigned hitRowsAt(KnobProfile p) const;
 
     /** Documented rows for this protocol. */
     unsigned documentedRows() const;
@@ -187,9 +237,13 @@ class ConformanceCoverage
     }
 
     ProtocolKind proto;
-    std::uint64_t l1Counts[kNumL1States][kNumL1Events][kNumL1States] = {};
-    std::uint64_t dirCounts[kNumDirStates][kNumDirEvents][kNumDirStates] =
-        {};
+    /** Profile this tracker records under (merge mixes profiles). */
+    KnobProfile profile;
+    bool seen[kNumKnobProfiles] = {};
+    std::uint64_t l1Counts[kNumKnobProfiles][kNumL1States][kNumL1Events]
+                          [kNumL1States] = {};
+    std::uint64_t dirCounts[kNumKnobProfiles][kNumDirStates]
+                           [kNumDirEvents][kNumDirStates] = {};
     /** Documented-row lookup cubes for this protocol. */
     bool l1Doc[kNumL1States][kNumL1Events][kNumL1States] = {};
     bool dirDoc[kNumDirStates][kNumDirEvents][kNumDirStates] = {};

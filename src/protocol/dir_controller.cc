@@ -19,7 +19,8 @@ DirController::DirController(TileId id, const SystemConfig &config,
                              WordStore &mem,
                              ConformanceCoverage *cov_tracker)
     : cfg(config), tileId(id), eventq(eq), router(rt), memImage(mem),
-      coverage(cov_tracker)
+      coverage(cov_tracker),
+      occRng(config.seed ^ 0x646972ULL ^ (std::uint64_t(id) << 40))
 {
     const std::uint64_t blocks = cfg.l2BytesPerTile / cfg.regionBytes;
     setsPerTile = static_cast<unsigned>(blocks / cfg.l2Assoc);
@@ -126,6 +127,8 @@ DirController::cov(DirState from, DirEvent ev, DirState to)
 Cycle
 DirController::occupy(Cycle latency)
 {
+    if (cfg.occupancyJitter)
+        latency += occRng.below(cfg.occupancyJitterMax + 1);
     const Cycle start = std::max(eventq.now(), busyUntil);
     busyUntil = start + latency;
     return busyUntil;
@@ -272,9 +275,30 @@ DirController::startRequest(const CoherenceMsg &msg)
             if (!slot || entry.lruStamp < slot->lruStamp)
                 slot = &entry;
         }
-        if (!slot)
-            panic("dir %u: no evictable L2 entry in set %u", tileId,
-                  setIndexOf(msg.region));
+        if (!slot) {
+            // Every entry is mid-fill or mid-transaction: the set is
+            // transiently pinned (reachable with a one-entry set when
+            // two regions' requests interleave; protocheck's
+            // recall-inclusive scenario drives this). Defer behind the
+            // first pinning region; its completion drains us a retry.
+            Addr blocker = 0;
+            bool pinned = false;
+            for (auto &entry : set) {
+                if (busy(entry.region)) {
+                    blocker = entry.region;
+                    pinned = true;
+                    break;
+                }
+            }
+            if (!pinned)
+                panic("dir %u: no evictable L2 entry in set %u",
+                      tileId, setIndexOf(msg.region));
+            active.erase(msg.region);
+            --stats.requests;
+            --stats.l2Misses;
+            waitPool.push(*waiting.findOrCreate(blocker), msg);
+            return;
+        }
         const Addr victim = slot->region;
         beginRecall(victim, msg.region);
         return;
@@ -723,14 +747,27 @@ DirController::drainQueue(Addr region)
         return;
     while (!q->empty() && !active.contains(region)) {
         CoherenceMsg msg = waitPool.popFront(*q);
+        // A request deferred by a pinned L2 set waits in *another*
+        // region's queue; requeue it if its own region became active
+        // while it waited.
+        const bool requeue =
+            msg.region != region && active.contains(msg.region);
         if (q->empty()) {
             waiting.erase(region);
-            dispatch(msg);
+            if (requeue)
+                waitPool.push(*waiting.findOrCreate(msg.region),
+                              std::move(msg));
+            else
+                dispatch(msg);
             return;
         }
         // dispatch() may recurse into other regions' queues and
         // relocate table entries; re-find our queue handle after it.
-        dispatch(msg);
+        if (requeue)
+            waitPool.push(*waiting.findOrCreate(msg.region),
+                          std::move(msg));
+        else
+            dispatch(msg);
         q = waiting.find(region);
         if (!q)
             return;

@@ -37,6 +37,7 @@
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/flat_table.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "protocol/bloom_directory.hh"
@@ -134,6 +135,88 @@ class DirController
 
     /** Diagnostic description of a region's directory-side state. */
     std::string describeRegion(Addr region);
+
+    /** True when a coherence transaction is active on @p region. */
+    bool hasActiveTxn(Addr region) const { return active.contains(region); }
+
+    // ---- canonical state snapshots (protocheck fingerprinting) ------
+
+    /** Snapshot of one valid L2 entry. */
+    struct EntrySnap
+    {
+        Addr region = 0;
+        bool filling = false;
+        bool dirty = false;
+        std::uint64_t readers = 0;
+        std::uint64_t writers = 0;
+        std::uint64_t lruStamp = 0;
+        unsigned setIndex = 0;
+        const std::uint64_t *words = nullptr;
+        unsigned wordCount = 0;
+    };
+
+    /** Visit every valid L2 entry, set by set. */
+    template <typename F>
+    void
+    forEachEntry(F &&fn) const
+    {
+        for (unsigned s = 0; s < setsPerTile; ++s) {
+            for (const L2Entry &e : sets[s]) {
+                if (!e.valid)
+                    continue;
+                fn(EntrySnap{e.region, e.filling, e.dirty,
+                             e.readers.raw(), e.writers.raw(),
+                             e.lruStamp, s, e.words.data(),
+                             static_cast<unsigned>(e.words.size())});
+            }
+        }
+    }
+
+    /** Snapshot of one in-flight transaction. */
+    struct TxnSnap
+    {
+        Addr region = 0;
+        bool recall = false;
+        MsgType reqType = MsgType::GETS;
+        CoreId requester = 0;
+        WordRange reqRange;
+        bool upgrade = false;
+        unsigned pending = 0;
+        bool waitingUnblock = false;
+        bool directSupplied = false;
+        bool unblocked = false;
+        Addr parentRegion = 0;
+    };
+
+    /** Visit every active transaction (unspecified region order). */
+    template <typename F>
+    void
+    forEachTxn(F &&fn) const
+    {
+        active.forEach([&](Addr region, const Txn &t) {
+            fn(TxnSnap{region, t.kind == Txn::Kind::Recall, t.reqType,
+                       t.requester, t.reqRange, t.upgrade, t.pending,
+                       t.waitingUnblock, t.directSupplied, t.unblocked,
+                       t.parentRegion});
+        });
+    }
+
+    /**
+     * Visit queued requests as (region, msg), FIFO order within a
+     * region; region order is unspecified (hash-table order).
+     */
+    template <typename F>
+    void
+    forEachWaitingMsg(F &&fn) const
+    {
+        waiting.forEach(
+            [&](Addr region,
+                const PooledFifo<CoherenceMsg>::Queue &q) {
+                waitPool.forEach(q, [&](const CoherenceMsg &m) {
+                    fn(region, m);
+                });
+            });
+    }
 
   private:
     /** One L2 block + directory entry. */
@@ -243,6 +326,8 @@ class DirController
 
     std::uint64_t lruClock = 0;
     Cycle busyUntil = 0;
+    /** Occupancy fault injection (cfg.occupancyJitter). */
+    Rng occRng;
 };
 
 } // namespace protozoa

@@ -12,7 +12,8 @@ L1Controller::L1Controller(CoreId id, const SystemConfig &config,
                            ConformanceCoverage *cov_tracker)
     : cfg(config), coreId(id), eventq(eq), router(rt), golden(gm),
       coverage(cov_tracker), cache(config),
-      predictor(makePredictor(config)), mshrs(1)
+      predictor(makePredictor(config)), mshrs(1),
+      occRng(config.seed ^ 0x6c31ULL ^ (std::uint64_t(id) << 40))
 {
 }
 
@@ -37,6 +38,8 @@ L1Controller::cov(L1State from, L1Event ev, L1State to)
 Cycle
 L1Controller::occupy(Cycle latency)
 {
+    if (cfg.occupancyJitter)
+        latency += occRng.below(cfg.occupancyJitterMax + 1);
     const Cycle start = std::max(eventq.now(), busyUntil);
     busyUntil = start + latency;
     return busyUntil;
@@ -516,7 +519,9 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
     // did not collect: stay tracked, or the directory drops the PUT's
     // data as stale. A sharer bit suffices and, unlike an owner bit,
     // cannot re-grow the writer set of a single-writer protocol.
-    if (wbBuffer.hasUncollected(region, msg.range))
+    // debugLostStoreBug re-injects the pre-fix race for protocheck.
+    if (!cfg.debugLostStoreBug &&
+        wbBuffer.hasUncollected(region, msg.range))
         still_sharer = true;
 
     CoherenceMsg resp;
@@ -629,7 +634,8 @@ L1Controller::handleInvProbe(const CoherenceMsg &msg)
     // Same eviction race as in handleFwdGetS: an uncollected in-flight
     // writeback must keep this core tracked (as a sharer) so the
     // directory patches the PUT's data instead of dropping it.
-    if (wbBuffer.hasUncollected(region, msg.range))
+    if (!cfg.debugLostStoreBug &&
+        wbBuffer.hasUncollected(region, msg.range))
         still_sharer = true;
 
     CoherenceMsg resp;

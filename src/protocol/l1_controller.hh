@@ -31,6 +31,7 @@
 #include "cache/spatial_predictor.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "protocol/coherence_msg.hh"
@@ -151,6 +152,8 @@ class L1Controller
     AccessCallback pendingDone;
 
     Cycle busyUntil = 0;
+    /** Occupancy fault injection (cfg.occupancyJitter). */
+    Rng occRng;
 };
 
 } // namespace protozoa

@@ -18,8 +18,8 @@ RandomTester::patternName(Pattern p)
     return "?";
 }
 
-RandomTester::Result
-RandomTester::run(const Params &params)
+SystemConfig
+RandomTester::buildConfig(const Params &params)
 {
     SystemConfig cfg;
     cfg.protocol = params.protocol;
@@ -35,8 +35,19 @@ RandomTester::run(const Params &params)
     cfg.faultInjection = params.faultInjection;
     cfg.faultJitterMax = params.faultJitterMax;
     cfg.faultReorderProb = params.faultReorderProb;
+    cfg.occupancyJitter = params.occupancyJitter;
+    cfg.occupancyJitterMax = params.occupancyJitterMax;
+    cfg.threeHop = params.threeHop;
+    cfg.directory = params.directory;
+    cfg.debugLostStoreBug = params.debugLostStoreBug;
     cfg.watchdogCycles = params.watchdogCycles;
+    return cfg;
+}
 
+std::vector<std::vector<TraceRecord>>
+RandomTester::buildTraces(const Params &params)
+{
+    const SystemConfig cfg = buildConfig(params);
     Rng rng(params.seed * 0x5851f42d4c957f2dULL + 7);
     const Addr base = 0x40000000;
     const unsigned region_words = cfg.regionWords();
@@ -57,7 +68,8 @@ RandomTester::run(const Params &params)
         break;
     }
 
-    Workload wl;
+    std::vector<std::vector<TraceRecord>> traces;
+    traces.reserve(cfg.numCores);
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         std::vector<TraceRecord> recs;
         recs.reserve(params.accessesPerCore);
@@ -109,8 +121,27 @@ RandomTester::run(const Params &params)
             }
             recs.push_back(rec);
         }
-        wl.push_back(std::make_unique<VectorTrace>(std::move(recs)));
+        traces.push_back(std::move(recs));
     }
+    return traces;
+}
+
+RandomTester::Result
+RandomTester::runTraces(const Params &params,
+                        const std::vector<std::vector<TraceRecord>> &traces)
+{
+    const SystemConfig cfg = buildConfig(params);
+
+    Workload wl;
+    std::uint64_t accesses = 0;
+    for (const auto &recs : traces) {
+        accesses += recs.size();
+        wl.push_back(std::make_unique<VectorTrace>(recs));
+    }
+    // Every core needs a trace source, even once shrinking empties it.
+    while (wl.size() < cfg.numCores)
+        wl.push_back(
+            std::make_unique<VectorTrace>(std::vector<TraceRecord>{}));
 
     System sys(cfg, std::move(wl));
     if (params.checkPeriod > 0)
@@ -122,11 +153,16 @@ RandomTester::run(const Params &params)
     res.invariantViolations = sys.invariantViolations();
     if (auto err = sys.checkCoherenceInvariant())
         ++res.invariantViolations;
-    res.accesses =
-        params.accessesPerCore * static_cast<std::uint64_t>(cfg.numCores);
+    res.accesses = accesses;
     res.stats = sys.report();
     res.coverage = sys.conformance();
     return res;
+}
+
+RandomTester::Result
+RandomTester::run(const Params &params)
+{
+    return runTraces(params, buildTraces(params));
 }
 
 } // namespace protozoa

@@ -14,10 +14,12 @@
 #define PROTOZOA_SIM_RANDOM_TESTER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "protocol/conformance.hh"
+#include "workload/trace.hh"
 
 namespace protozoa {
 
@@ -84,6 +86,14 @@ class RandomTester
         bool faultInjection = false;
         Cycle faultJitterMax = 8;
         double faultReorderProb = 0.05;
+        /** Controller occupancy jitter (SystemConfig::occupancyJitter). */
+        bool occupancyJitter = false;
+        Cycle occupancyJitterMax = 4;
+        /** Coherence knobs (conformance KnobProfile dimensions). */
+        bool threeHop = false;
+        DirectoryKind directory = DirectoryKind::InCacheExact;
+        /** Test-only lost-store bug re-injection (campaign-shrink). */
+        bool debugLostStoreBug = false;
         /** Deadlock-watchdog bound in cycles (0 = off). */
         Cycle watchdogCycles = 0;
     };
@@ -100,6 +110,20 @@ class RandomTester
     };
 
     static Result run(const Params &params);
+
+    /**
+     * The deterministic pieces a run is assembled from, exposed so the
+     * campaign-failure shrinker (src/check) can rebuild, truncate, and
+     * replay the exact workload of a failing parameter point.
+     */
+    static SystemConfig buildConfig(const Params &params);
+    static std::vector<std::vector<TraceRecord>>
+    buildTraces(const Params &params);
+
+    /** Run a (possibly edited) trace set under @p params' config. */
+    static Result
+    runTraces(const Params &params,
+              const std::vector<std::vector<TraceRecord>> &traces);
 };
 
 } // namespace protozoa

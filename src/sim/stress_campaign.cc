@@ -1,8 +1,11 @@
 #include "sim/stress_campaign.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
+#include <string_view>
+#include <tuple>
 
 #include "common/log.hh"
 #include "sim/sweep_runner.hh"
@@ -16,6 +19,7 @@ standardJitterProfiles()
         {"off", false, 0, 0.0},
         {"mild", true, 4, 0.02},
         {"wild", true, 16, 0.10},
+        {"occ", true, 4, 0.02, 4},
     };
     return profiles;
 }
@@ -52,6 +56,13 @@ CampaignResult::report(bool verbose) const
     os << "stress campaign: " << jobs << " jobs, " << accesses
        << " accesses, " << valueViolations << " value violations, "
        << invariantViolations << " invariant violations\n";
+    for (const auto &f : failures) {
+        os << "  FAILED " << protocolName(f.params.protocol) << " "
+           << f.profile << " knobs=" << f.knobs << " "
+           << RandomTester::patternName(f.params.pattern) << " seed="
+           << f.params.seed << " (" << f.valueViolations << " value, "
+           << f.invariantViolations << " invariant)\n";
+    }
     for (const auto &cov : coverage)
         os << cov.report(verbose);
     os << (passed() ? "campaign PASSED" : "campaign FAILED") << "\n";
@@ -66,30 +77,38 @@ runCampaign(const CampaignSpec &spec)
         std::size_t protoIdx;
         RandomTester::Params params;
         const char *profile;
+        const char *knobs;
     };
 
     std::vector<Job> jobs;
     for (std::size_t p = 0; p < spec.protocols.size(); ++p) {
         for (const auto &prof : spec.profiles) {
-            for (const auto pattern : spec.patterns) {
-                for (const auto seed : spec.seeds) {
-                    Job job;
-                    job.protoIdx = p;
-                    job.profile = prof.name;
-                    auto &rp = job.params;
-                    rp.protocol = spec.protocols[p];
-                    rp.pattern = pattern;
-                    rp.seed = seed;
-                    rp.numCores = spec.numCores;
-                    rp.meshCols = spec.meshCols;
-                    rp.meshRows = spec.meshRows;
-                    rp.accessesPerCore = spec.accessesPerCore;
-                    rp.checkPeriod = spec.checkPeriod;
-                    rp.faultInjection = prof.faultInjection;
-                    rp.faultJitterMax = prof.jitterMax;
-                    rp.faultReorderProb = prof.reorderProb;
-                    rp.watchdogCycles = spec.watchdogCycles;
-                    jobs.push_back(job);
+            for (const auto &knob : spec.knobs) {
+                for (const auto pattern : spec.patterns) {
+                    for (const auto seed : spec.seeds) {
+                        Job job;
+                        job.protoIdx = p;
+                        job.profile = prof.name;
+                        job.knobs = knob.name;
+                        auto &rp = job.params;
+                        rp.protocol = spec.protocols[p];
+                        rp.pattern = pattern;
+                        rp.seed = seed;
+                        rp.numCores = spec.numCores;
+                        rp.meshCols = spec.meshCols;
+                        rp.meshRows = spec.meshRows;
+                        rp.accessesPerCore = spec.accessesPerCore;
+                        rp.checkPeriod = spec.checkPeriod;
+                        rp.faultInjection = prof.faultInjection;
+                        rp.faultJitterMax = prof.jitterMax;
+                        rp.faultReorderProb = prof.reorderProb;
+                        rp.occupancyJitter = prof.occJitterMax > 0;
+                        rp.occupancyJitterMax = prof.occJitterMax;
+                        rp.threeHop = knob.threeHop;
+                        rp.directory = knob.directory;
+                        rp.watchdogCycles = spec.watchdogCycles;
+                        jobs.push_back(job);
+                    }
                 }
             }
         }
@@ -120,8 +139,32 @@ runCampaign(const CampaignSpec &spec)
         res.accesses += r.accesses;
         res.valueViolations += r.valueViolations;
         res.invariantViolations += r.invariantViolations;
+        if (r.valueViolations != 0 || r.invariantViolations != 0) {
+            CampaignFailure f;
+            f.params = job.params;
+            f.profile = job.profile;
+            f.knobs = job.knobs;
+            f.valueViolations = r.valueViolations;
+            f.invariantViolations = r.invariantViolations;
+            res.failures.push_back(f);
+        }
         res.coverage[job.protoIdx].merge(r.coverage);
     });
+
+    // Worker completion order is nondeterministic; canonicalize the
+    // failure list so reports and the shrinker see a stable order.
+    std::sort(res.failures.begin(), res.failures.end(),
+              [](const CampaignFailure &a, const CampaignFailure &b) {
+                  const auto key = [](const CampaignFailure &f) {
+                      return std::make_tuple(
+                          static_cast<int>(f.params.protocol),
+                          std::string_view(f.profile),
+                          std::string_view(f.knobs),
+                          static_cast<int>(f.params.pattern),
+                          f.params.seed);
+                  };
+                  return key(a) < key(b);
+              });
     return res;
 }
 

@@ -31,17 +31,30 @@
 
 namespace protozoa {
 
-/** One network-fault profile in the campaign grid. */
+/** One fault profile in the campaign grid. */
 struct JitterProfile
 {
     const char *name;
     bool faultInjection;
     Cycle jitterMax;
     double reorderProb;
+    /** Controller occupancy jitter bound (0 = off). */
+    Cycle occJitterMax = 0;
 };
 
-/** The three standard profiles: off, mild jitter, wild reordering. */
+/**
+ * The four standard profiles: off, mild jitter, wild reordering, and
+ * "occ" (mild network jitter plus controller occupancy jitter).
+ */
 const std::vector<JitterProfile> &standardJitterProfiles();
+
+/** One coherence-knob combination in the campaign grid. */
+struct KnobSetting
+{
+    const char *name;
+    bool threeHop;
+    DirectoryKind directory;
+};
 
 struct CampaignSpec
 {
@@ -51,6 +64,13 @@ struct CampaignSpec
         ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW};
     /** Jitter profiles (default: standardJitterProfiles()). */
     std::vector<JitterProfile> profiles = standardJitterProfiles();
+    /**
+     * Coherence-knob combinations; every grid point runs once per
+     * setting and the merged coverage matrix records which knob
+     * profile reached each documented transition.
+     */
+    std::vector<KnobSetting> knobs{
+        {"base", false, DirectoryKind::InCacheExact}};
     /** Access-pattern archetypes. */
     std::vector<RandomTester::Pattern> patterns{
         RandomTester::Pattern::Uniform,
@@ -87,6 +107,16 @@ struct CampaignSpec
     static CampaignSpec smallSystem();
 };
 
+/** One failing grid point, with everything needed to reproduce it. */
+struct CampaignFailure
+{
+    RandomTester::Params params;
+    const char *profile = "?";
+    const char *knobs = "?";
+    std::uint64_t valueViolations = 0;
+    std::uint64_t invariantViolations = 0;
+};
+
 /** Aggregated campaign outcome. */
 struct CampaignResult
 {
@@ -94,6 +124,8 @@ struct CampaignResult
     std::uint64_t accesses = 0;
     std::uint64_t valueViolations = 0;
     std::uint64_t invariantViolations = 0;
+    /** Failing grid points, canonically sorted (shrinker input). */
+    std::vector<CampaignFailure> failures;
     /** One merged coverage matrix per CampaignSpec protocol, in order. */
     std::vector<ConformanceCoverage> coverage;
 

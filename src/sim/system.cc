@@ -20,7 +20,8 @@ System::System(const SystemConfig &config, Workload workload)
     PROTO_ASSERT(traces.size() == cfg.numCores,
                  "workload must supply one trace per core");
 
-    coverage = std::make_unique<ConformanceCoverage>(cfg.protocol);
+    coverage = std::make_unique<ConformanceCoverage>(cfg.protocol,
+                                                     knobProfileOf(cfg));
     net = std::make_unique<Mesh>(eventq, cfg);
 
     for (CoreId c = 0; c < cfg.numCores; ++c) {
@@ -57,10 +58,13 @@ System::send(CoherenceMsg msg)
     const bool to_dir = msg.dstIsDir;
 
     // Snapshot the identifying fields before the message moves into the
-    // delivery closure, for the watchdog's in-flight tracking.
+    // delivery closure, for the watchdog's in-flight tracking and the
+    // schedule oracle's parked-message annotation.
     const MsgType type = msg.type;
     const Addr region = msg.region;
     const WordRange range = msg.range;
+    const std::uint64_t fp =
+        net->scheduleOracleEnabled() ? msg.fingerprint() : 0;
 
     // The delivery closure must fit the event queue's inline buffer or
     // every message send costs a heap allocation.
@@ -76,6 +80,10 @@ System::send(CoherenceMsg msg)
                       else
                           l1s[m.dstNode]->receive(std::move(m));
                   });
+
+    if (net->scheduleOracleEnabled())
+        net->annotateParked(src, dst, fp, msgTypeName(type), region,
+                            range, to_dir);
 
     if (net->trackingEnabled()) {
         Mesh::QueuedMsg q;

@@ -67,6 +67,9 @@ class System : public Router
     /** Per-run transition-coverage matrix (always recording). */
     ConformanceCoverage &conformance() { return *coverage; }
 
+    /** Backing memory image (protocheck golden-word fingerprinting). */
+    WordStore &memoryImage() { return memImage; }
+
     /**
      * Deadlock watchdog: flag any MSHR entry or directory transaction
      * outstanding for more than @p bound cycles and hand @p handler a

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end regression tests for protocheck: the PR 2 lost-store
+ * eviction race, re-injected behind SystemConfig::debugLostStoreBug,
+ * must be found by the bounded explorer and shrink to a tiny repro;
+ * with the fix active the same scenario must verify clean. Also covers
+ * occupancy-jitter determinism and campaign-failure auto-shrinking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/campaign_shrink.hh"
+#include "check/explorer.hh"
+#include "check/minimizer.hh"
+#include "check/scenario.hh"
+#include "protozoa/protozoa.hh"
+
+using namespace protozoa;
+using namespace protozoa::check;
+
+namespace {
+
+Scenario
+lostStoreScenario(bool bug)
+{
+    const Scenario *s = findScenario("evict-vs-partial-probe");
+    EXPECT_NE(s, nullptr);
+    Scenario out = *s;
+    out.debugLostStoreBug = bug;
+    return out;
+}
+
+} // namespace
+
+TEST(LostStoreRegression, ExplorerFindsReinjectedBug)
+{
+    const Scenario s = lostStoreScenario(true);
+    const ExploreResult r = explore(s, ProtocolKind::ProtozoaMW);
+    ASSERT_TRUE(r.violation.has_value())
+        << "re-injected lost-store race not found in "
+        << r.statesVisited << " states";
+    EXPECT_FALSE(r.violation->schedule.empty());
+    EXPECT_EQ(r.violation->schedule.size(), r.violation->steps.size());
+}
+
+TEST(LostStoreRegression, MinimizerShrinksToTinyRepro)
+{
+    const Scenario s = lostStoreScenario(true);
+    const auto min = minimize(s, ProtocolKind::ProtozoaMW);
+    ASSERT_TRUE(min.has_value());
+    EXPECT_LE(min->scenario.accesses.size(), 6u);
+    EXPECT_FALSE(min->repro.empty());
+    EXPECT_NE(min->repro.find("cfg.debugLostStoreBug = true;"),
+              std::string::npos);
+    EXPECT_NE(min->repro.find("ProtocolDriver d(cfg);"),
+              std::string::npos);
+    // The minimized schedule must still reproduce deterministically.
+    const auto v = replaySchedule(min->scenario,
+                                  ProtocolKind::ProtozoaMW,
+                                  min->schedule);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->kind, min->violation.kind);
+}
+
+TEST(LostStoreRegression, FixedProtocolVerifiesClean)
+{
+    const Scenario s = lostStoreScenario(false);
+    for (ProtocolKind proto :
+         {ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        const ExploreResult r = explore(s, proto);
+        EXPECT_FALSE(r.violation.has_value())
+            << protocolName(proto) << ": [" << r.violation->kind
+            << "] " << r.violation->detail;
+        EXPECT_FALSE(r.budgetExhausted) << protocolName(proto);
+    }
+}
+
+TEST(OccupancyJitter, DeterministicPerSeedAndClean)
+{
+    RandomTester::Params p;
+    p.numCores = 4;
+    p.meshCols = 2;
+    p.meshRows = 2;
+    p.accessesPerCore = 300;
+    p.occupancyJitter = true;
+    p.occupancyJitterMax = 4;
+    p.seed = 7;
+
+    const auto a = RandomTester::run(p);
+    const auto b = RandomTester::run(p);
+    EXPECT_EQ(a.valueViolations, 0u);
+    EXPECT_EQ(a.invariantViolations, 0u);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.coverage.hitRows(), b.coverage.hitRows());
+
+    // A different jitter draw (different seed) must also stay clean:
+    // jitter may reorder controller servicing but never break SWMR.
+    p.seed = 8;
+    const auto c = RandomTester::run(p);
+    EXPECT_EQ(c.valueViolations, 0u);
+    EXPECT_EQ(c.invariantViolations, 0u);
+}
+
+TEST(CampaignShrink, ShrinksAReinjectedFailure)
+{
+    RandomTester::Params p;
+    p.protocol = ProtocolKind::ProtozoaMW;
+    p.predictor = PredictorKind::WordOnly;
+    p.numCores = 4;
+    p.meshCols = 2;
+    p.meshRows = 2;
+    p.regions = 2;
+    p.coldFraction = 0.3;
+    p.coldRegions = 16;
+    p.accessesPerCore = 120;
+    p.writeFraction = 0.6;
+    p.l1Sets = 1;
+    p.pattern = RandomTester::Pattern::EvictionPressure;
+    p.debugLostStoreBug = true;
+
+    // The re-injected race is timing-dependent; scan a bounded seed
+    // range for a failing grid point the way the campaign would.
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+        p.seed = seed;
+        const auto r = RandomTester::run(p);
+        found = r.valueViolations + r.invariantViolations > 0;
+    }
+    ASSERT_TRUE(found)
+        << "no failing seed in [1,40]; loosen the parameter point";
+
+    CampaignFailure f;
+    f.params = p;
+    f.profile = "off";
+    f.knobs = "base";
+    const auto shrunk = shrinkCampaignFailure(f);
+    ASSERT_TRUE(shrunk.has_value())
+        << "failure did not reproduce in the serial re-run";
+    EXPECT_LT(shrunk->accessesAfter, shrunk->accessesBefore);
+    EXPECT_GT(shrunk->accessesAfter, 0u);
+    EXPECT_FALSE(shrunk->summary.empty());
+    // The shrunk trace set must still fail when replayed.
+    const auto replay = RandomTester::runTraces(p, shrunk->traces);
+    EXPECT_GT(replay.valueViolations + replay.invariantViolations, 0u);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the protocheck subsystem: state-fingerprint
+ * canonicalization, explorer sanity on library scenarios, schedule
+ * replay determinism, and the knob-profile dimension of the
+ * transition-coverage matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/explorer.hh"
+#include "check/minimizer.hh"
+#include "check/scenario.hh"
+#include "check/state_fingerprint.hh"
+#include "protocol_driver.hh"
+
+using namespace protozoa;
+using namespace protozoa::check;
+
+namespace {
+
+/**
+ * Build a 2-core oracle-enabled system, issue one store per core in
+ * the given order, run to quiescence (every message parks), and
+ * fingerprint. Issue order across cores must not affect the hash:
+ * the parked messages land in distinct (src,dst) channels either way.
+ */
+std::uint64_t
+fingerprintAfterStores(bool swapIssueOrder, Addr a0, Addr a1,
+                       std::uint64_t v0, std::uint64_t v1)
+{
+    Scenario s;
+    s.name = "fp-harness";
+    s.numCores = 2;
+    const SystemConfig cfg = s.toConfig(ProtocolKind::ProtozoaMW);
+    System sys(cfg, emptyWorkload(cfg.numCores));
+
+    auto issue = [&](CoreId c, Addr a, std::uint64_t v) {
+        MemAccess acc;
+        acc.addr = a;
+        acc.isWrite = true;
+        acc.storeValue = v;
+        acc.pc = 0x3000;
+        sys.l1(c).requestAccess(acc, [](std::uint64_t) {});
+    };
+    if (swapIssueOrder) {
+        issue(1, a1, v1);
+        issue(0, a0, v0);
+    } else {
+        issue(0, a0, v0);
+        issue(1, a1, v1);
+    }
+    sys.eventQueue().run();
+    EXPECT_GT(sys.mesh().parkedMessages(), 0u);
+
+    std::vector<Addr> regions{regionBase(a0, cfg.regionBytes),
+                              regionBase(a1, cfg.regionBytes)};
+    std::sort(regions.begin(), regions.end());
+    regions.erase(std::unique(regions.begin(), regions.end()),
+                  regions.end());
+    const std::vector<unsigned> progress{0, 0};
+    return fingerprintSystem(sys, regions, progress);
+}
+
+constexpr Addr kBase = 0x40000000;
+
+} // namespace
+
+TEST(StateFingerprint, PermutedIssueOrderHashesEqual)
+{
+    const std::uint64_t a =
+        fingerprintAfterStores(false, kBase, kBase + 64 + 8, 0xa1, 0xb1);
+    const std::uint64_t b =
+        fingerprintAfterStores(true, kBase, kBase + 64 + 8, 0xa1, 0xb1);
+    EXPECT_EQ(a, b);
+}
+
+TEST(StateFingerprint, DifferentExtentsHashDistinct)
+{
+    const std::uint64_t a =
+        fingerprintAfterStores(false, kBase, kBase + 64 + 8, 0xa1, 0xb1);
+    // Same regions, different word within core 1's region.
+    const std::uint64_t b =
+        fingerprintAfterStores(false, kBase, kBase + 64 + 16, 0xa1, 0xb1);
+    // Same words, different store value (golden memory differs).
+    const std::uint64_t c =
+        fingerprintAfterStores(false, kBase, kBase + 64 + 8, 0xa1, 0xb2);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Explorer, UpgradeRaceCleanUnderAllProtocols)
+{
+    const Scenario *s = findScenario("upgrade-race");
+    ASSERT_NE(s, nullptr);
+    for (ProtocolKind proto :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+          ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        const ExploreResult r = explore(*s, proto);
+        EXPECT_FALSE(r.violation.has_value())
+            << protocolName(proto) << ": [" << r.violation->kind
+            << "] " << r.violation->detail;
+        EXPECT_FALSE(r.budgetExhausted) << protocolName(proto);
+        EXPECT_GT(r.schedulesCompleted, 0u) << protocolName(proto);
+    }
+}
+
+TEST(Explorer, MemoizationCollapsesPingpong)
+{
+    const Scenario *s = findScenario("false-share-pingpong");
+    ASSERT_NE(s, nullptr);
+    const ExploreResult r = explore(*s, ProtocolKind::ProtozoaMW);
+    EXPECT_FALSE(r.violation.has_value());
+    EXPECT_FALSE(r.budgetExhausted);
+    // Different interleavings converge to identical quiescent states;
+    // without memo hits the run would re-expand whole subtrees.
+    EXPECT_GT(r.memoHits, 0u);
+}
+
+TEST(Explorer, ReplayEmptyScheduleIsCanonicalAndClean)
+{
+    const Scenario *s = findScenario("upgrade-race");
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(
+        replaySchedule(*s, ProtocolKind::ProtozoaMW, {}).has_value());
+}
+
+TEST(ScenarioLibrary, LookupAndFootprint)
+{
+    ASSERT_FALSE(scenarioLibrary().empty());
+    EXPECT_EQ(findScenario("no-such-scenario"), nullptr);
+    const Scenario *s = findScenario("evict-vs-partial-probe");
+    ASSERT_NE(s, nullptr);
+    EXPECT_LE(s->accesses.size(), 8u);
+    EXPECT_LE(s->regionFootprint().size(), 2u);
+    const SystemConfig cfg = s->toConfig(ProtocolKind::ProtozoaMW);
+    EXPECT_TRUE(cfg.scheduleOracle);
+    EXPECT_FALSE(cfg.faultInjection);
+    EXPECT_FALSE(cfg.occupancyJitter);
+}
+
+TEST(KnobProfile, OfConfig)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(knobProfileOf(cfg), KnobProfile::Base);
+    cfg.threeHop = true;
+    EXPECT_EQ(knobProfileOf(cfg), KnobProfile::ThreeHop);
+    cfg.directory = DirectoryKind::TaglessBloom;
+    EXPECT_EQ(knobProfileOf(cfg), KnobProfile::ThreeHopBloom);
+    cfg.threeHop = false;
+    EXPECT_EQ(knobProfileOf(cfg), KnobProfile::BloomDir);
+}
+
+TEST(KnobProfile, PerProfilePlanesAndMerge)
+{
+    ConformanceCoverage base(ProtocolKind::ProtozoaMW);
+    ConformanceCoverage hop(ProtocolKind::ProtozoaMW,
+                            KnobProfile::ThreeHop);
+
+    base.recordL1(L1State::I, L1Event::Load, L1State::IS);
+    hop.recordL1(L1State::I, L1Event::Load, L1State::IS);
+    hop.recordL1(L1State::I, L1Event::Load, L1State::IS);
+
+    EXPECT_EQ(base.l1CountAt(KnobProfile::Base, L1State::I,
+                             L1Event::Load, L1State::IS),
+              1u);
+    EXPECT_EQ(hop.l1CountAt(KnobProfile::ThreeHop, L1State::I,
+                            L1Event::Load, L1State::IS),
+              2u);
+    EXPECT_EQ(hop.l1CountAt(KnobProfile::Base, L1State::I,
+                            L1Event::Load, L1State::IS),
+              0u);
+    // The aggregate accessor sums the profile planes.
+    EXPECT_EQ(hop.l1Count(L1State::I, L1Event::Load, L1State::IS), 2u);
+    EXPECT_TRUE(hop.profileSeen(KnobProfile::ThreeHop));
+    EXPECT_FALSE(hop.profileSeen(KnobProfile::Base));
+
+    base.merge(hop);
+    EXPECT_EQ(base.l1Count(L1State::I, L1Event::Load, L1State::IS), 3u);
+    EXPECT_TRUE(base.profileSeen(KnobProfile::Base));
+    EXPECT_TRUE(base.profileSeen(KnobProfile::ThreeHop));
+    EXPECT_EQ(base.hitRowsAt(KnobProfile::Base), 1u);
+    EXPECT_EQ(base.hitRowsAt(KnobProfile::ThreeHop), 1u);
+    EXPECT_EQ(base.hitRowsAt(KnobProfile::BloomDir), 0u);
+}
+
+TEST(ScheduleOracle, DisabledMeshParksNothing)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.l2Tiles = 2;
+    cfg.meshCols = 2;
+    cfg.meshRows = 1;
+    ProtocolDriver d(cfg);
+    EXPECT_FALSE(d.sys.mesh().scheduleOracleEnabled());
+    d.store(0, kBase, 0x1);
+    EXPECT_EQ(d.sys.mesh().parkedMessages(), 0u);
+    EXPECT_EQ(d.load(1, kBase), 0x1u);
+    d.expectClean();
+}
