@@ -2,20 +2,26 @@
  * @file
  * protocheck: bounded schedule explorer CLI.
  *
- * Exhaustively enumerates cross-pair message-delivery interleavings
- * for the curated scenario library (src/check/scenario.cc) and reports
- * states, complete schedules and memoization hits per (scenario,
- * protocol) pair. Exits nonzero on any invariant violation (printing
- * the minimized counterexample) or when a run blows its state budget.
+ * Enumerates cross-pair message-delivery interleavings for the curated
+ * scenario library (src/check/scenario.cc) — with sleep-set partial-
+ * order reduction by default — and reports states, complete schedules,
+ * memoization hits and POR counters per (scenario, protocol) pair.
+ * Exits nonzero on any invariant violation (printing the minimized
+ * counterexample) or when a run blows its state budget.
  *
- *   protocheck --scenario all --protocol all          # CI entry point
+ *   protocheck --tier fast                      # PR-gating CI entry
+ *   protocheck --tier deep --max-states 2000000 # scheduled CI entry
  *   protocheck --scenario evict-vs-partial-probe --protocol mw -v
+ *   protocheck --no-por --scenario upgrade-race # full enumeration
+ *   protocheck --json stats.json --tier all     # machine-readable
  *   protocheck --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,9 +52,71 @@ void
 usage()
 {
     std::puts(
-        "usage: protocheck [--scenario <name>|all] "
-        "[--protocol mesi|sw|swmr|mw|all]\n"
-        "                  [--max-states N] [--list] [-v]");
+        "usage: protocheck [--scenario <name>|all] [--tier fast|deep|all]\n"
+        "                  [--protocol mesi|sw|swmr|mw|all]\n"
+        "                  [--max-states N] [--no-por] [--no-memo]\n"
+        "                  [--json FILE]\n"
+        "                  [--list] [-v]");
+}
+
+std::string
+joinStresses(const Scenario &s)
+{
+    std::string out;
+    for (const std::string &t : s.stresses) {
+        if (!out.empty())
+            out += ",";
+        out += t;
+    }
+    return out;
+}
+
+/** One finished (scenario, protocol) run, for the JSON artifact. */
+struct RunStat
+{
+    std::string scenario;
+    const char *proto;
+    ExploreResult res;
+    double wallMs = 0;
+};
+
+void
+writeJson(const std::string &path, const std::vector<RunStat> &stats,
+          const ExploreLimits &lim)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"por\": %s,\n  \"maxStates\": %llu,\n"
+                    "  \"runs\": [\n",
+                 lim.por ? "true" : "false",
+                 static_cast<unsigned long long>(lim.maxStates));
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        const RunStat &r = stats[i];
+        const char *result = "ok";
+        if (r.res.violation)
+            result = "violation";
+        else if (r.res.budgetExhausted)
+            result = "budget-exhausted";
+        std::fprintf(
+            f,
+            "    {\"scenario\": \"%s\", \"protocol\": \"%s\", "
+            "\"states\": %llu, \"schedules\": %llu, "
+            "\"memoHits\": %llu, \"porPruned\": %llu, "
+            "\"porCommutations\": %llu, \"wallMs\": %.1f, "
+            "\"result\": \"%s\"}%s\n",
+            r.scenario.c_str(), r.proto,
+            static_cast<unsigned long long>(r.res.statesVisited),
+            static_cast<unsigned long long>(r.res.schedulesCompleted),
+            static_cast<unsigned long long>(r.res.memoHits),
+            static_cast<unsigned long long>(r.res.porPruned),
+            static_cast<unsigned long long>(r.res.porCommutations),
+            r.wallMs, result, i + 1 < stats.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 } // namespace
@@ -56,8 +124,10 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string scenarioArg = "all";
+    std::string scenarioArg;
     std::string protocolArg = "all";
+    std::string tierArg = "all";
+    std::string jsonPath;
     ExploreLimits lim;
     bool verbose = false;
 
@@ -67,13 +137,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--protocol") == 0 &&
                    i + 1 < argc) {
             protocolArg = argv[++i];
+        } else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc) {
+            tierArg = argv[++i];
         } else if (std::strcmp(argv[i], "--max-states") == 0 &&
                    i + 1 < argc) {
             lim.maxStates = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--no-por") == 0) {
+            lim.por = false;
+        } else if (std::strcmp(argv[i], "--no-memo") == 0) {
+            lim.memo = false;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
         } else if (std::strcmp(argv[i], "--list") == 0) {
             for (const Scenario &s : scenarioLibrary())
-                std::printf("%-24s %s\n", s.name.c_str(),
-                            s.note.c_str());
+                std::printf("%-24s %-5s %-40s [%s]\n", s.name.c_str(),
+                            s.deep ? "deep" : "fast", s.note.c_str(),
+                            joinStresses(s).c_str());
             return 0;
         } else if (std::strcmp(argv[i], "-v") == 0) {
             verbose = true;
@@ -82,10 +161,20 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (tierArg != "fast" && tierArg != "deep" && tierArg != "all") {
+        usage();
+        return 2;
+    }
 
     std::vector<Scenario> scenarios;
-    if (scenarioArg == "all") {
-        scenarios = scenarioLibrary();
+    if (scenarioArg.empty() || scenarioArg == "all") {
+        for (const Scenario &s : scenarioLibrary()) {
+            if (tierArg == "fast" && s.deep)
+                continue;
+            if (tierArg == "deep" && !s.deep)
+                continue;
+            scenarios.push_back(s);
+        }
     } else if (const Scenario *s = findScenario(scenarioArg)) {
         scenarios.push_back(*s);
     } else {
@@ -104,28 +193,39 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::printf("%-24s %-6s %10s %10s %10s  %s\n", "scenario", "proto",
-                "states", "schedules", "memo-hits", "result");
+    std::printf("%-24s %-6s %9s %9s %9s %9s %9s  %s\n", "scenario",
+                "proto", "states", "scheds", "memo", "pruned",
+                "commute", "result");
 
     int rc = 0;
     std::uint64_t totalStates = 0;
     std::uint64_t totalSchedules = 0;
+    std::vector<RunStat> stats;
     for (const Scenario &s : scenarios) {
         for (ProtocolKind proto : protocols) {
+            const auto t0 = std::chrono::steady_clock::now();
             const ExploreResult r = explore(s, proto, lim);
+            const double wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
             totalStates += r.statesVisited;
             totalSchedules += r.schedulesCompleted;
+            stats.push_back({s.name, protocolName(proto), r, wallMs});
             const char *result = "ok";
             if (r.violation)
                 result = "VIOLATION";
             else if (r.budgetExhausted)
                 result = "BUDGET EXHAUSTED";
-            std::printf("%-24s %-6s %10llu %10llu %10llu  %s\n",
+            std::printf("%-24s %-6s %9llu %9llu %9llu %9llu %9llu  %s\n",
                         s.name.c_str(), protocolName(proto),
                         static_cast<unsigned long long>(r.statesVisited),
                         static_cast<unsigned long long>(
                             r.schedulesCompleted),
                         static_cast<unsigned long long>(r.memoHits),
+                        static_cast<unsigned long long>(r.porPruned),
+                        static_cast<unsigned long long>(
+                            r.porCommutations),
                         result);
             if (verbose && r.violation) {
                 std::printf("  [%s] %s\n", r.violation->kind.c_str(),
@@ -158,6 +258,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(totalStates),
                 static_cast<unsigned long long>(totalSchedules),
                 scenarios.size() * protocols.size());
+    if (!jsonPath.empty())
+        writeJson(jsonPath, stats, lim);
     if (rc == 0)
         std::puts("protocheck: all scenarios clean");
     return rc;

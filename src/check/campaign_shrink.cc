@@ -84,6 +84,7 @@ shrinkCampaignFailure(const CampaignFailure &failure)
         << " accesses\n";
 
     CampaignShrinkResult out;
+    out.failure = failure;
     out.params = params;
     out.accessesBefore = before;
     out.accessesAfter = after;
@@ -107,8 +108,9 @@ shrinkCampaignFailure(const CampaignFailure &failure)
     regions.erase(std::unique(regions.begin(), regions.end()),
                   regions.end());
 
-    if (after > 0 && after <= 12 && active >= 1 && active <= 4 &&
-        regions.size() <= 2) {
+    out.explorerEligible = after > 0 && after <= 12 && active >= 1 &&
+                           active <= 4 && regions.size() <= 2;
+    if (out.explorerEligible) {
         Scenario sc;
         sc.name = "campaign-shrink";
         sc.note = "converted from a failing stress-campaign point";
@@ -122,6 +124,8 @@ shrinkCampaignFailure(const CampaignFailure &failure)
         sc.l2Assoc = cfg.l2Assoc;
         sc.threeHop = cfg.threeHop;
         sc.directory = cfg.directory;
+        sc.bloomBuckets = cfg.bloomBuckets;
+        sc.bloomHashes = cfg.bloomHashes;
         sc.debugLostStoreBug = cfg.debugLostStoreBug;
         // Interleave cores round-robin; only per-core order matters to
         // the explorer (it enumerates the cross-core interleavings).
@@ -150,9 +154,20 @@ shrinkCampaignFailure(const CampaignFailure &failure)
                                 "dependent); trace-level shrink kept")
             << "\n";
     } else {
-        log << "  explorer conversion skipped (" << after
-            << " accesses across " << active << " cores, "
-            << regions.size() << " regions)\n";
+        // The survivor is still too large for the bounded explorer;
+        // say which limit blocked it and keep the campaign-failure
+        // record as the durable repro (params rebuild the workload).
+        log << "  shrunk survivor still exceeds the explorer limits:";
+        if (after > 12)
+            log << " " << after << " accesses (max 12);";
+        if (active > 4)
+            log << " " << active << " cores (max 4);";
+        if (regions.size() > 2)
+            log << " " << regions.size() << " regions (max 2);";
+        if (after == 0)
+            log << " empty survivor;";
+        log << " keeping the campaign failure record (seed="
+            << params.seed << ")\n";
     }
 
     out.traces = std::move(traces);

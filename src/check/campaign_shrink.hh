@@ -36,6 +36,8 @@ namespace protozoa::check {
 
 struct CampaignShrinkResult
 {
+    /** The original failing record, kept verbatim for re-runs. */
+    CampaignFailure failure;
     /** Parameters of the failing point (workload rebuild key). */
     RandomTester::Params params;
     /** Shrunk per-core traces that still fail. */
@@ -44,6 +46,13 @@ struct CampaignShrinkResult
     std::uint64_t accessesAfter = 0;
     /** Human-readable stage-by-stage log. */
     std::string summary;
+    /**
+     * The shrunk survivor fit the bounded explorer's limits and a
+     * conversion was attempted. False means the survivor stayed too
+     * large (the summary names the exceeded limits) — the failure
+     * record above is the durable repro in that case.
+     */
+    bool explorerEligible = false;
     /** Explorer-minimized counterexample, when conversion succeeded. */
     std::optional<MinimizeResult> minimized;
 };

@@ -1,8 +1,10 @@
 #include "check/explorer.hh"
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <sstream>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "check/state_fingerprint.hh"
 #include "sim/system.hh"
@@ -19,6 +21,62 @@ emptyWorkload(unsigned cores)
         wl.push_back(
             std::make_unique<VectorTrace>(std::vector<TraceRecord>{}));
     return wl;
+}
+
+/**
+ * One deliverable channel head at a quiescent point, with everything
+ * the POR independence rule needs. A delivery's only effects outside
+ * its destination *controller* are on the two global word stores —
+ * golden memory (written/validated when an access completes at an L1)
+ * and the memory image (fetched/flushed by a directory tile) — and
+ * the messages its cascade emits into the destination node's outgoing
+ * channels. `golden` and `image` are conservative bitmask footprints
+ * over the scenario's region set; `emit` over-approximates the mesh
+ * nodes the cascade can send to.
+ */
+struct ChannelInfo
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+    bool dstIsDir = false;
+    const char *type = "?";
+    Addr region = 0;
+    WordRange range;
+    /** Golden-memory words (footprint-region-major word bits). */
+    std::uint64_t golden = 0;
+    /** Memory-image regions (footprint-region bits). */
+    std::uint64_t image = 0;
+    /** Mesh nodes the delivery cascade can emit messages to. */
+    std::uint64_t emit = 0;
+};
+
+/**
+ * Two channel heads commute when delivering them in either order
+ * reaches the same quiescent state. They must target different
+ * controllers (an L1 and its co-located directory tile are distinct
+ * controllers sharing a node) and touch disjoint global-memory
+ * footprints: an L1-bound delivery never touches the memory image
+ * and a directory-bound one never touches golden memory, so the two
+ * planes are tested independently. Controller state changes are then
+ * confined to the respective destinations, and the only remaining
+ * interaction is through emitted messages. A cascade's emissions all
+ * originate at the delivery's destination node, so two heads bound
+ * for different nodes can never emit into the same (src,dst) channel
+ * and commute outright; a co-located L1/dir pair additionally needs
+ * disjoint emission *targets* — per-pair FIFO channels are node-
+ * granular, so one message into a channel the sibling also feeds
+ * would be ordered differently by the two delivery orders.
+ */
+bool
+independent(const ChannelInfo &a, const ChannelInfo &b)
+{
+    if (a.dst == b.dst && a.dstIsDir == b.dstIsDir)
+        return false; // same controller
+    if ((a.golden & b.golden) != 0 || (a.image & b.image) != 0)
+        return false;
+    if (a.dst != b.dst)
+        return true; // emissions originate at different nodes
+    return (a.emit & b.emit) == 0;
 }
 
 /**
@@ -40,6 +98,12 @@ class Run
         issued.assign(cfg.numCores, 0);
         completed.assign(cfg.numCores, 0);
         regions = s.regionFootprint();
+        setsPerTile = static_cast<unsigned>(
+            cfg.l2BytesPerTile / cfg.regionBytes / cfg.l2Assoc);
+        for (Addr r : regions)
+            homeTiles |= std::uint64_t(1)
+                << ((r / cfg.regionBytes) % cfg.l2Tiles);
+        allNodes = (std::uint64_t(1) << cfg.numCores) - 1;
 
         for (CoreId c = 0; c < cfg.numCores; ++c)
             issueNext(c);
@@ -49,28 +113,26 @@ class Run
     Run(const Run &) = delete;
     Run &operator=(const Run &) = delete;
 
-    /** Deliverable channels at this quiescent point. */
-    unsigned width() const { return static_cast<unsigned>(frontier.size()); }
+    /** Deliverable channel heads at this quiescent point, canonical. */
+    const std::vector<ChannelInfo> &frontier() const { return front; }
+
+    /** Mesh nodes (channel ids are src * nodes + dst). */
+    unsigned nodes() const { return cfg.numCores; }
 
     /** Describe the head message of frontier channel @p k. */
     ScheduleStep
-    describe(unsigned k)
+    describe(unsigned k) const
     {
+        const ChannelInfo &ci = front[k];
         ScheduleStep step;
-        step.src = frontier[k].first;
-        step.dst = frontier[k].second;
-        sys.mesh().forEachParkedChannel([&](unsigned src, unsigned dst,
-                                            const std::deque<Mesh::Parked>
-                                                &chan) {
-            if (src != step.src || dst != step.dst)
-                return;
-            const Mesh::Parked &p = chan.front();
-            std::ostringstream os;
-            os << p.type << " region=0x" << std::hex << p.region
-               << std::dec << " words=" << p.range.toString() << " n"
-               << src << " -> " << (p.dstIsDir ? "dir" : "l1") << dst;
-            step.desc = os.str();
-        });
+        step.src = ci.src;
+        step.dst = ci.dst;
+        std::ostringstream os;
+        os << ci.type << " region=0x" << std::hex << ci.region
+           << std::dec << " words=" << ci.range.toString() << " n"
+           << ci.src << " -> " << (ci.dstIsDir ? "dir" : "l1")
+           << ci.dst;
+        step.desc = os.str();
         return step;
     }
 
@@ -78,7 +140,7 @@ class Run
     void
     step(unsigned k)
     {
-        sys.mesh().deliverParked(frontier[k].first, frontier[k].second);
+        sys.mesh().deliverParked(front[k].src, front[k].dst);
         quiesce();
     }
 
@@ -95,6 +157,14 @@ class Run
     std::optional<Violation>
     check(bool terminal)
     {
+        if (livelocked) {
+            Violation v;
+            v.kind = "livelock";
+            v.detail = "delivery cascade still busy after " +
+                       std::to_string(kMaxCascadeEvents) +
+                       " events without reaching quiescence";
+            return v;
+        }
         if (auto err = sys.checkCoherenceInvariant()) {
             Violation v;
             v.kind = "swmr";
@@ -199,31 +269,218 @@ class Run
         });
     }
 
+    /** Footprint index of @p region, or regions.size() if unknown. */
+    std::size_t
+    regionIndex(Addr region) const
+    {
+        const auto it =
+            std::lower_bound(regions.begin(), regions.end(), region);
+        if (it != regions.end() && *it == region)
+            return static_cast<std::size_t>(it - regions.begin());
+        return regions.size();
+    }
+
+    /**
+     * Golden-memory words a DATA grant to core @p c (for @p dregion
+     * words @p drange) can touch. Delivering the grant completes the
+     * outstanding access and a chain of local hits can complete
+     * following ones — but only while each access's word is available
+     * locally: a word neither resident in the L1 now nor carried by
+     * this grant cannot be read or written without *another* delivery
+     * (whose own footprint covers the later effects), so the chain —
+     * and the mask — stops at the first such access. Availability is
+     * over-approximated (any resident block counts, regardless of
+     * permissions or later evictions), which only adds dependence.
+     */
+    std::uint64_t
+    goldenFootprint(CoreId c, Addr dregion, const WordRange &drange)
+    {
+        const unsigned rw = cfg.regionWords();
+        if (regions.size() * rw > 64)
+            return ~std::uint64_t(0); // footprint too wide: pessimize
+
+        std::uint64_t avail = 0;
+        const auto addWords = [&](Addr region, std::uint64_t words) {
+            const std::size_t r = regionIndex(region);
+            if (r < regions.size())
+                avail |= words << (r * rw);
+        };
+        addWords(dregion, drange.mask());
+        sys.l1(c).cacheStorage().forEach([&](const AmoebaBlock &b) {
+            addWords(b.region, b.range.mask());
+        });
+
+        std::uint64_t mask = 0;
+        for (std::size_t i = completed[c]; i < perCore[c].size(); ++i) {
+            const ScenarioAccess &a =
+                scenario.accesses[perCore[c][i]];
+            const std::size_t r =
+                regionIndex(regionBase(a.addr, cfg.regionBytes));
+            const unsigned bit = static_cast<unsigned>(r) * rw +
+                wordIndexIn(a.addr, cfg.regionBytes);
+            if (((avail >> bit) & 1) == 0)
+                break; // next completion needs another delivery
+            mask |= std::uint64_t(1) << bit;
+        }
+        return mask;
+    }
+
+    /**
+     * Memory-image regions a delivery to directory tile @p tile for
+     * @p region can fetch or flush: the region itself plus every
+     * scenario region homed on the tile in the same L2 set — any of
+     * them can become a recall victim or be dispatched from the
+     * pinned-set deferral queue inside this delivery's cascade.
+     */
+    std::uint64_t
+    imageFootprint(Addr region, unsigned tile) const
+    {
+        if (regions.size() > 64)
+            return ~std::uint64_t(0);
+        std::uint64_t mask = 0;
+        const Addr idx = region / cfg.regionBytes;
+        const Addr set = (idx / cfg.l2Tiles) % setsPerTile;
+        for (std::size_t r = 0; r < regions.size(); ++r) {
+            const Addr ridx = regions[r] / cfg.regionBytes;
+            if (regions[r] != region &&
+                (ridx % cfg.l2Tiles != tile ||
+                 (ridx / cfg.l2Tiles) % setsPerTile != set))
+                continue;
+            mask |= std::uint64_t(1) << r;
+        }
+        return mask;
+    }
+
+    /**
+     * Mesh nodes an L1-bound delivery's cascade can emit to. Every
+     * message an L1 originates — UNBLOCK, eviction PUTs, request
+     * (re)issues from chained accesses, probe responses — goes to the
+     * home tile of some footprint region, except that under 3-hop
+     * forwarding a probe makes the owner supply DATA directly to the
+     * requesting core, which can be any node.
+     */
+    std::uint64_t
+    l1EmitTargets(const char *type) const
+    {
+        if (cfg.threeHop && (std::strncmp(type, "FWD", 3) == 0 ||
+                             std::strcmp(type, "INV") == 0))
+            return allNodes | homeTiles;
+        return homeTiles;
+    }
+
+    /**
+     * Mesh nodes a directory-bound delivery's cascade can emit to,
+     * from the delivered message plus current directory ownership. A
+     * PUT answers its evictor and nothing else (it never probes and
+     * never drains the deferral queue), so it gets an exact singleton.
+     * Anything else can probe the readers/writers of any entry in the
+     * delivered region's L2 set (recall victims included), answer the
+     * requester of any active transaction, and — through finishTxn's
+     * queue drain — re-dispatch any queued request, whose own probes
+     * stay within the same set by the pinned-set deferral rule. A
+     * Bloom directory's probe set is a superset of the true sharers
+     * bounded only by the filter, so it pessimizes to every core.
+     */
+    std::uint64_t
+    dirEmitTargets(unsigned tile, Addr region, unsigned src,
+                   const char *type)
+    {
+        DirController &d = sys.dir(static_cast<TileId>(tile));
+        const bool request = std::strcmp(type, "GETS") == 0 ||
+                             std::strcmp(type, "GETX") == 0 ||
+                             std::strcmp(type, "PUT") == 0;
+        // A request for a region with an active transaction parks in
+        // the deferral queue — no emissions at all. The classification
+        // is stable for as long as this head can stay asleep: any
+        // delivery to this tile is same-controller dependent and
+        // wakes it, and no other delivery changes the active set.
+        if (request && d.hasActiveTxn(region))
+            return 0;
+        std::uint64_t m = std::uint64_t(1) << src;
+        if (std::strcmp(type, "PUT") == 0)
+            return m;
+        if (cfg.directory == DirectoryKind::TaglessBloom)
+            return allNodes | homeTiles;
+        const Addr set =
+            (region / cfg.regionBytes / cfg.l2Tiles) % setsPerTile;
+        d.forEachEntry([&](const DirController::EntrySnap &e) {
+            if (e.setIndex == set)
+                m |= e.readers | e.writers;
+        });
+        d.forEachTxn([&](const DirController::TxnSnap &t) {
+            m |= std::uint64_t(1) << t.requester;
+        });
+        d.forEachWaitingMsg([&](Addr, const CoherenceMsg &w) {
+            m |= (std::uint64_t(1) << w.sender) |
+                 (std::uint64_t(1) << w.requester);
+        });
+        return m;
+    }
+
     /** Drain the event queue, then recompute the frontier. */
     void
     quiesce()
     {
-        sys.eventQueue().run();
-        frontier.clear();
+        // Bounded drain: a delivery cascade that never quiesces is a
+        // protocol livelock (e.g. a retry loop that makes no
+        // progress). Far beyond any legal cascade for <=16-access
+        // scenarios, so a trip is a genuine bug, reported via
+        // check(), not a tuning knob.
+        std::uint64_t steps = 0;
+        while (sys.eventQueue().step()) {
+            if (++steps > kMaxCascadeEvents) {
+                livelocked = true;
+                break;
+            }
+        }
+        front.clear();
         sys.mesh().forEachParkedChannel(
             [&](unsigned src, unsigned dst,
-                const std::deque<Mesh::Parked> &) {
-                frontier.emplace_back(src, dst);
+                const std::deque<Mesh::Parked> &chan) {
+                const Mesh::Parked &p = chan.front();
+                ChannelInfo ci;
+                ci.src = src;
+                ci.dst = dst;
+                ci.dstIsDir = p.dstIsDir;
+                ci.type = p.type;
+                ci.region = p.region;
+                ci.range = p.range;
+                if (p.dstIsDir) {
+                    ci.image = imageFootprint(p.region, dst);
+                    ci.emit =
+                        dirEmitTargets(dst, p.region, src, p.type);
+                } else {
+                    if (p.isData)
+                        ci.golden = goldenFootprint(
+                            static_cast<CoreId>(dst), p.region,
+                            p.range);
+                    ci.emit = l1EmitTargets(p.type);
+                }
+                front.push_back(ci);
             });
     }
+
+    static constexpr std::uint64_t kMaxCascadeEvents = 1000000;
 
     const Scenario &scenario;
     const SystemConfig cfg;
     System sys;
+    /** One cascade blew kMaxCascadeEvents: protocol livelock. */
+    bool livelocked = false;
 
     /** Scenario access indices per core, in program order. */
     std::vector<std::vector<std::size_t>> perCore;
     std::vector<std::size_t> issued;
     std::vector<unsigned> completed;
     std::vector<Addr> regions;
+    unsigned setsPerTile = 1;
+    /** Home-tile node bits of every footprint region. */
+    std::uint64_t homeTiles = 0;
+    /** All core-node bits (3-hop / Bloom emission pessimization). */
+    std::uint64_t allNodes = 0;
 
     /** Non-empty channels at the current quiescent point, canonical. */
-    std::vector<std::pair<unsigned, unsigned>> frontier;
+    std::vector<ChannelInfo> front;
 };
 
 } // namespace
@@ -235,17 +492,67 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
     // The PcSpatial predictor folds the whole access history into its
     // table, which the fingerprint does not cover; two fingerprints
     // may then collide across genuinely different futures. Fall back
-    // to budget-bounded exhaustive search without memoization.
-    const bool memo_ok = s.predictor != PredictorKind::PcSpatial;
-    std::unordered_set<std::uint64_t> memo;
+    // to budget-bounded search without memoization (sleep sets do not
+    // depend on fingerprints and stay active).
+    const bool memo_ok =
+        lim.memo && s.predictor != PredictorKind::PcSpatial;
+    // Fingerprint -> intersection of the sleep masks it was expanded
+    // under. A revisit is covered iff its sleep mask is a superset of
+    // the stored mask: prior visits explored every enabled channel
+    // outside the stored mask, which includes everything this visit
+    // would explore.
+    std::unordered_map<std::uint64_t, std::uint64_t> memo;
+    std::unordered_map<std::uint64_t, bool> seen; // fingerprint set
 
+    /** One expanded quiescent point on the DFS stack. */
+    struct Level
+    {
+        std::vector<ChannelInfo> frontier;
+        /** Explorable frontier indices (not asleep on entry). */
+        std::vector<unsigned> order;
+        /** Position in `order` currently being explored. */
+        std::size_t pos = 0;
+        /** Sleep mask (channel-id bits) this state was entered with. */
+        std::uint64_t sleepIn = 0;
+        /** Channel-id bits of already fully explored siblings. */
+        std::uint64_t explored = 0;
+    };
+    std::vector<Level> stack;
     std::vector<unsigned> path;
-    std::vector<unsigned> widths;
     std::vector<ScheduleStep> steps;
+
     auto run = std::make_unique<Run>(s, proto);
+    const unsigned nodes = run->nodes();
+    PROTO_ASSERT(nodes * nodes <= 64,
+                 "sleep masks support up to 64 channels (8 nodes)");
+    const auto chanBit = [nodes](const ChannelInfo &c) {
+        return std::uint64_t(1) << (c.src * nodes + c.dst);
+    };
+    // Sleep set of the next explored child: every earlier-explored or
+    // inherited-asleep channel that commutes with the chosen delivery
+    // stays asleep below it; dependent channels wake up.
+    const auto childSleep = [&](const Level &lv, unsigned k) {
+        if (!lim.por)
+            return std::uint64_t(0);
+        std::uint64_t out = 0;
+        const std::uint64_t candidates = lv.sleepIn | lv.explored;
+        const ChannelInfo &chosen = lv.frontier[k];
+        for (const ChannelInfo &c : lv.frontier) {
+            if (&c == &chosen || (candidates & chanBit(c)) == 0)
+                continue;
+            if (independent(c, chosen)) {
+                out |= chanBit(c);
+                ++res.porCommutations;
+            }
+        }
+        return out;
+    };
+
+    std::uint64_t sleep = 0; // mask entering the current state
 
     for (;;) {
-        const unsigned width = run->width();
+        const std::vector<ChannelInfo> &frontier = run->frontier();
+        const unsigned width = static_cast<unsigned>(frontier.size());
         if (auto v = run->check(width == 0)) {
             v->schedule = path;
             v->steps = steps;
@@ -256,40 +563,96 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         bool leaf = (width == 0);
         if (leaf)
             ++res.schedulesCompleted;
-        if (!leaf && memo_ok && !memo.insert(run->fingerprint()).second) {
-            ++res.memoHits;
-            leaf = true;
+
+        std::vector<unsigned> order;
+        if (!leaf) {
+            for (unsigned k = 0; k < width; ++k) {
+                if (lim.por && (sleep & chanBit(frontier[k])) != 0) {
+                    ++res.porPruned;
+                    continue;
+                }
+                order.push_back(k);
+            }
+            // Every enabled delivery is asleep: each commutes with an
+            // already-explored sibling schedule that covers this
+            // subtree, so the state is a cut, not a completed leaf.
+            if (order.empty())
+                leaf = true;
+        }
+
+        std::uint64_t fp = 0;
+        if (memo_ok || lim.collectFingerprints)
+            fp = run->fingerprint();
+        if (lim.collectFingerprints)
+            seen.emplace(fp, true);
+        if (!leaf && memo_ok) {
+            auto [it, fresh] = memo.try_emplace(fp, sleep);
+            if (!fresh) {
+                if ((it->second & ~sleep) == 0) {
+                    ++res.memoHits;
+                    leaf = true;
+                } else {
+                    it->second &= sleep;
+                }
+            }
         }
 
         if (!leaf) {
             if (++res.statesVisited > lim.maxStates ||
                 path.size() >= lim.maxDepth) {
                 res.budgetExhausted = true;
-                return res;
+                break;
             }
-            path.push_back(0);
-            widths.push_back(width);
-            steps.push_back(run->describe(0));
-            run->step(0);
+            Level lv;
+            lv.frontier = frontier;
+            lv.order = std::move(order);
+            lv.sleepIn = sleep;
+            const unsigned k = lv.order[0];
+            sleep = childSleep(lv, k);
+            path.push_back(k);
+            steps.push_back(run->describe(k));
+            stack.push_back(std::move(lv));
+            run->step(k);
             continue;
         }
 
         // Backtrack to the deepest level with an untried choice, then
         // rebuild a fresh run and replay the prefix (deterministic).
-        while (!path.empty() && path.back() + 1 >= widths.back()) {
+        bool done = false;
+        for (;;) {
+            if (stack.empty()) {
+                done = true;
+                break;
+            }
+            Level &lv = stack.back();
+            lv.explored |= chanBit(lv.frontier[lv.order[lv.pos]]);
+            ++lv.pos;
+            if (lv.pos < lv.order.size())
+                break;
+            stack.pop_back();
             path.pop_back();
-            widths.pop_back();
             steps.pop_back();
         }
-        if (path.empty())
-            return res;
-        ++path.back();
+        if (done)
+            break;
+        Level &lv = stack.back();
+        const unsigned k = lv.order[lv.pos];
+        path.back() = k;
         run = std::make_unique<Run>(s, proto);
         for (std::size_t i = 0; i + 1 < path.size(); ++i)
             run->step(path[i]);
-        steps.back() = run->describe(path.back());
-        run->step(path.back());
+        sleep = childSleep(lv, k);
+        steps.back() = run->describe(k);
+        run->step(k);
     }
+
+    if (lim.collectFingerprints) {
+        res.fingerprints.reserve(seen.size());
+        for (const auto &kv : seen)
+            res.fingerprints.push_back(kv.first);
+        std::sort(res.fingerprints.begin(), res.fingerprints.end());
+    }
+    return res;
 }
 
 std::optional<Violation>
@@ -302,7 +665,8 @@ replaySchedule(const Scenario &s, ProtocolKind proto,
     std::size_t i = 0;
     const ExploreLimits lim;
     for (;;) {
-        const unsigned width = run->width();
+        const unsigned width =
+            static_cast<unsigned>(run->frontier().size());
         if (auto v = run->check(width == 0)) {
             v->schedule = path;
             v->steps = steps;

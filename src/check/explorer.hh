@@ -1,7 +1,8 @@
 /**
  * @file
- * Bounded schedule explorer ("protocheck"): exhaustive enumeration of
- * cross-channel message-delivery interleavings for one scenario.
+ * Bounded schedule explorer ("protocheck"): enumeration of
+ * cross-channel message-delivery interleavings for one scenario, with
+ * sleep-set partial-order reduction.
  *
  * The mesh's schedule oracle parks every sent message on its
  * per-(src,dst) FIFO channel. Between deliveries the event queue runs
@@ -17,6 +18,34 @@
  * given a schedule, so replay is exact). Visited states are memoized
  * by canonical fingerprint (state_fingerprint.hh), collapsing
  * confluent interleavings.
+ *
+ * Partial-order reduction (ExploreLimits::por, on by default): two
+ * pending deliveries *commute* when they target different controllers
+ * (an L1 and its co-located directory tile count as different) and
+ * their global-memory footprints are disjoint — golden-memory words a
+ * DATA grant's completion chain can commit or validate on the L1
+ * side, memory-image regions a directory delivery can fetch or flush
+ * (the delivered region plus any scenario region that collides in the
+ * same L2 set of that tile, the recall/deferral closure). Every other
+ * effect of a delivery is local to the destination controller or
+ * lands in the destination node's send channels; deliveries bound for
+ * different nodes therefore never emit into the same per-(src,dst)
+ * FIFO, while a co-located L1/dir pair additionally needs disjoint
+ * emission *targets*, over-approximated from the message type plus
+ * directory ownership (an L1 emits only toward footprint home tiles;
+ * a directory reaches its request's sender, the readers/writers of
+ * the addressed L2 set, active-transaction requesters and queued
+ * senders — or any core under a Bloom directory, whose probe set is
+ * bounded only by the filter).
+ * Sleep sets carry the already-explored independent siblings down the
+ * tree and prune the symmetric interleavings; because sleep sets
+ * alone never skip a *state* (only redundant transitions into
+ * already-covered subtrees), the reduced search still visits every
+ * reachable quiescent state and reports identical verdicts — locked
+ * by tests comparing fingerprint sets against full enumeration.
+ * Memoization composes with POR by storing, per fingerprint, the
+ * intersection of the sleep masks it was expanded under; a revisit
+ * prunes only when its own sleep mask covers that stored mask.
  *
  * At every quiescent point the invariant oracles run:
  *  - word-level SWMR (System::checkCoherenceInvariant),
@@ -45,6 +74,22 @@ struct ExploreLimits
     std::uint64_t maxStates = 200000;
     /** Schedule-depth bound (messages delivered along one path). */
     unsigned maxDepth = 512;
+    /** Sleep-set partial-order reduction (off = full enumeration). */
+    bool por = true;
+    /**
+     * Fingerprint memoization. Off, every interleaving is walked to
+     * a leaf, so schedulesCompleted counts the schedules the search
+     * actually enumerated — the honest denominator when measuring
+     * POR's reduction. (Automatically off under PcSpatial, whose
+     * predictor history the fingerprint does not cover.)
+     */
+    bool memo = true;
+    /**
+     * Collect every visited quiescent fingerprint in
+     * ExploreResult::fingerprints (POR soundness tests; costs a hash
+     * per state even for scenarios that cannot memoize).
+     */
+    bool collectFingerprints = false;
 };
 
 /** One delivery decision, for human-readable counterexamples. */
@@ -71,18 +116,29 @@ struct ExploreResult
     std::uint64_t statesVisited = 0;
     std::uint64_t schedulesCompleted = 0;
     std::uint64_t memoHits = 0;
+    /** Deliveries suppressed by sleep sets (pruned subtrees). */
+    std::uint64_t porPruned = 0;
+    /** Independent delivery pairs detected while building sleep sets. */
+    std::uint64_t porCommutations = 0;
     bool budgetExhausted = false;
     std::optional<Violation> violation;
+    /**
+     * Sorted distinct quiescent-state fingerprints, filled only when
+     * ExploreLimits::collectFingerprints is set.
+     */
+    std::vector<std::uint64_t> fingerprints;
 };
 
-/** Exhaustively explore @p s under @p proto (up to the limits). */
+/** Explore @p s under @p proto (up to the limits; POR per lim.por). */
 ExploreResult explore(const Scenario &s, ProtocolKind proto,
                       const ExploreLimits &lim = {});
 
 /**
  * Deterministically replay @p prefix (clamping stale indices), then
  * complete with first-channel choices; @return the violation hit, if
- * any. The returned schedule covers the full executed path.
+ * any. The returned schedule covers the full executed path. Replay
+ * never reduces: a minimized schedule prefix replays identically
+ * whether it was found with POR on or off.
  */
 std::optional<Violation>
 replaySchedule(const Scenario &s, ProtocolKind proto,

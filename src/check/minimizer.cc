@@ -69,8 +69,11 @@ buildRepro(const Scenario &s, ProtocolKind proto, const Violation &v)
     os << "cfg.l2Assoc = " << s.l2Assoc << ";\n";
     if (s.threeHop)
         os << "cfg.threeHop = true;\n";
-    if (s.directory == DirectoryKind::TaglessBloom)
+    if (s.directory == DirectoryKind::TaglessBloom) {
         os << "cfg.directory = DirectoryKind::TaglessBloom;\n";
+        os << "cfg.bloomBuckets = " << s.bloomBuckets << ";\n";
+        os << "cfg.bloomHashes = " << s.bloomHashes << ";\n";
+    }
     if (s.debugLostStoreBug)
         os << "cfg.debugLostStoreBug = true;\n";
     os << "ProtocolDriver d(cfg);\n";

@@ -14,6 +14,8 @@ Scenario::toConfig(ProtocolKind proto) const
     cfg.predictor = predictor;
     cfg.fixedFetchWords = fixedFetchWords;
     cfg.directory = directory;
+    cfg.bloomBuckets = bloomBuckets;
+    cfg.bloomHashes = bloomHashes;
     cfg.threeHop = threeHop;
     cfg.debugLostStoreBug = debugLostStoreBug;
 
@@ -76,6 +78,7 @@ buildLibrary()
         Scenario s;
         s.name = "upgrade-race";
         s.note = "two cores race S->M upgrades on the same word";
+        s.stresses = {"swmr", "value", "upgrade"};
         s.numCores = 2;
         s.accesses = {
             {0, wordAddr(64, 0, 0), false, 0},
@@ -93,6 +96,7 @@ buildLibrary()
         Scenario s;
         s.name = "false-share-pingpong";
         s.note = "disjoint-word writers of one region, cross reads";
+        s.stresses = {"swmr", "value", "mw-split"};
         s.numCores = 2;
         s.accesses = {
             {0, wordAddr(64, 0, 0), true, 0x1a},
@@ -114,6 +118,7 @@ buildLibrary()
         Scenario s;
         s.name = "evict-vs-partial-probe";
         s.note = "in-flight eviction PUT races a non-overlapping probe";
+        s.stresses = {"value", "writeback", "mr-overlap"};
         s.numCores = 2;
         s.regionBytes = 16;
         s.l1Sets = 1;
@@ -136,6 +141,7 @@ buildLibrary()
         Scenario s;
         s.name = "upgrade-retry";
         s.note = "probe invalidates an in-flight S->M upgrade target";
+        s.stresses = {"swmr", "value", "upgrade"};
         s.numCores = 2;
         s.accesses = {
             {0, wordAddr(64, 0, 0), false, 0},
@@ -153,6 +159,7 @@ buildLibrary()
         Scenario s;
         s.name = "recall-inclusive";
         s.note = "L2 conflict recall races the victim's live sharers";
+        s.stresses = {"inclusion", "recall", "value"};
         s.numCores = 2;
         s.l2BytesPerTile = 64;
         s.l2Assoc = 1;
@@ -173,6 +180,7 @@ buildLibrary()
         Scenario s;
         s.name = "threehop-direct";
         s.note = "owner-to-requester direct DATA with late collection";
+        s.stresses = {"3hop", "value", "swmr"};
         s.numCores = 2;
         s.threeHop = true;
         s.accesses = {
@@ -180,6 +188,243 @@ buildLibrary()
             {1, wordAddr(64, 0, 0), false, 0},
             {1, wordAddr(64, 0, 0), true, 0x5b},
             {0, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Bloom false positive: with one bucket per hash table every
+        // region aliases every other, so core 1's residency in region
+        // 2 makes the directory falsely probe it for region 0. The
+        // probe must come back as a clean NACK (bloomFalseProbes
+        // stat) without deadlocking the requester.
+        Scenario s;
+        s.name = "bloom-false-probe";
+        s.note = "fully-aliased Bloom filter forces false probe/NACK";
+        s.stresses = {"bloom-nack", "value"};
+        s.numCores = 2;
+        s.directory = DirectoryKind::TaglessBloom;
+        s.bloomBuckets = 1;
+        s.bloomHashes = 1;
+        s.accesses = {
+            // Region 2 homes on tile 0 (even index) and pollutes the
+            // tile-0 filter with core 1.
+            {1, wordAddr(64, 2, 0), false, 0},
+            {0, wordAddr(64, 0, 0), true, 0x6a},
+            {1, wordAddr(64, 0, 0), false, 0},
+            {0, wordAddr(64, 0, 1), true, 0x6b},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Bloom NACK under an upgrade: core 0's S->M upgrade collects
+        // a false-positive probe NACK from core 1 (aliased in via
+        // region 2) concurrently with the genuine invalidation, so
+        // the collection logic must count NACKs and real acks against
+        // the same expected-response tally.
+        Scenario s;
+        s.name = "bloom-nack-upgrade";
+        s.note = "upgrade collects a false-probe NACK plus a real ack";
+        s.stresses = {"bloom-nack", "upgrade", "swmr"};
+        s.numCores = 2;
+        s.directory = DirectoryKind::TaglessBloom;
+        s.bloomBuckets = 1;
+        s.bloomHashes = 1;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), false, 0},
+            {1, wordAddr(64, 2, 0), true, 0x7a},
+            {0, wordAddr(64, 0, 0), true, 0x7b},
+            {1, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Three writers storm a one-entry L2 tile: regions 0, 3 and 6
+        // all home on tile 0 and collide in its only set, so every
+        // fill recalls the previous region while its traffic is still
+        // live, and late requesters hit the PR 4 pinned-set deferral.
+        Scenario s;
+        s.name = "recall-storm-3core";
+        s.note = "3 cores churn one-entry L2 set, serial recalls";
+        s.stresses = {"recall", "pinning", "inclusion", "value"};
+        s.numCores = 3;
+        s.l2BytesPerTile = 64;
+        s.l2Assoc = 1;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0x8a},
+            {1, wordAddr(64, 3, 0), true, 0x8b},
+            {2, wordAddr(64, 6, 0), true, 0x8c},
+            {0, wordAddr(64, 3, 1), false, 0},
+            {1, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Four-core recall storm, 10 accesses: regions 0, 4 and 8 all
+        // collide in tile 0's only set while cross-reads keep the
+        // victims' sharer sets live. Full enumeration exhausts the CI
+        // state budget; the POR-reduced space completes. Regression-
+        // locks the PR 4 fully-pinned-set deferral fix at 4 cores.
+        Scenario s;
+        s.name = "recall-storm-4core";
+        s.note = "4-core recall storm on a one-entry L2 set (deep)";
+        s.stresses = {"recall", "pinning", "inclusion", "value"};
+        s.deep = true;
+        s.numCores = 4;
+        s.l2BytesPerTile = 64;
+        s.l2Assoc = 1;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0x9a},
+            {1, wordAddr(64, 4, 0), true, 0x9b},
+            {2, wordAddr(64, 8, 0), true, 0x9c},
+            {3, wordAddr(64, 0, 1), true, 0x9d},
+            {0, wordAddr(64, 4, 1), false, 0},
+            {1, wordAddr(64, 8, 1), false, 0},
+            {2, wordAddr(64, 0, 0), false, 0},
+            {3, wordAddr(64, 4, 0), false, 0},
+            {0, wordAddr(64, 0, 1), true, 0x9e},
+            {1, wordAddr(64, 0, 1), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // MW churn: two writers hammer disjoint words (0 and 7, then
+        // 3) of one region across 10 accesses with word-boundary
+        // writes, ending in cross reads. Under Protozoa-MW both stay
+        // M-resident on their word ranges; the word-level SWMR split
+        // and the final cross-read values must hold through the
+        // churn. Full enumeration exceeds the CI budget.
+        Scenario s;
+        s.name = "mw-word-churn";
+        s.note = "10-access disjoint-word writer churn, cross reads";
+        s.stresses = {"mw-split", "swmr", "value"};
+        s.deep = true;
+        s.numCores = 2;
+        // PcSpatial folds the access history into its pattern table,
+        // which the state fingerprint does not cover, so memoization
+        // is off for this scenario: the run measures raw search-tree
+        // size. Distinct pcs per (core, word) stream keep the
+        // predictor's table non-trivial.
+        s.predictor = PredictorKind::PcSpatial;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0xa0, 0x100},
+            {1, wordAddr(64, 0, 7), true, 0xb0, 0x200},
+            {0, wordAddr(64, 0, 0), true, 0xa1, 0x100},
+            {1, wordAddr(64, 0, 7), true, 0xb1, 0x200},
+            {0, wordAddr(64, 0, 3), true, 0xa2, 0x110},
+            {1, wordAddr(64, 0, 7), true, 0xb2, 0x200},
+            {0, wordAddr(64, 0, 7), false, 0, 0x120},
+            {1, wordAddr(64, 0, 3), false, 0, 0x210},
+            {0, wordAddr(64, 0, 0), false, 0, 0x100},
+            {1, wordAddr(64, 0, 0), false, 0, 0x220},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Three cores stride over three regions homed on three
+        // different tiles under the PcSpatial predictor, ending in
+        // cross reads. The predictor folds access history into its
+        // pattern table, so memoization is (soundly) unavailable and
+        // the runs measure raw search-tree size: the streams are
+        // pairwise independent almost everywhere, so sleep sets
+        // collapse the schedule space to near one order per
+        // dependent suffix, while full enumeration of the
+        // interleaved streams exhausts any CI state budget.
+        Scenario s;
+        s.name = "pcspatial-stride-3core";
+        s.note = "3 striding cores, 3 home tiles, PcSpatial (deep)";
+        s.stresses = {"value", "swmr", "predictor"};
+        s.deep = true;
+        s.numCores = 3;
+        s.predictor = PredictorKind::PcSpatial;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0x51, 0x400},
+            {1, wordAddr(64, 1, 0), true, 0x61, 0x500},
+            {2, wordAddr(64, 2, 0), true, 0x71, 0x600},
+            {0, wordAddr(64, 0, 1), true, 0x52, 0x404},
+            {1, wordAddr(64, 1, 1), true, 0x62, 0x504},
+            {2, wordAddr(64, 2, 1), true, 0x72, 0x604},
+            {0, wordAddr(64, 0, 2), true, 0x53, 0x408},
+            {1, wordAddr(64, 1, 2), true, 0x63, 0x508},
+            {2, wordAddr(64, 2, 2), true, 0x73, 0x608},
+            {0, wordAddr(64, 1, 0), false, 0, 0x40c},
+            {1, wordAddr(64, 2, 0), false, 0, 0x50c},
+            {2, wordAddr(64, 0, 0), false, 0, 0x60c},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // MR overlap vs eviction: both cores read word 0 (overlapping
+        // reader ranges), core 0's second fill evicts its block while
+        // core 1 upgrades the word the clean eviction still covers.
+        // The directory's reader-overlap probe filter must not skip
+        // the evicting reader or the stale copy survives.
+        Scenario s;
+        s.name = "mr-reader-overlap-evict";
+        s.note = "overlapping readers race a clean eviction vs upgrade";
+        s.stresses = {"mr-overlap", "value", "writeback"};
+        s.numCores = 2;
+        s.regionBytes = 16;
+        s.l1Sets = 1;
+        s.l1BytesPerSet = 24;
+        s.accesses = {
+            {0, wordAddr(16, 0, 0), false, 0},
+            {1, wordAddr(16, 0, 0), false, 0},
+            {0, wordAddr(16, 0, 1), false, 0},
+            {1, wordAddr(16, 0, 0), true, 0xc1},
+            {0, wordAddr(16, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Writeback/upgrade crossing under 3-hop forwarding: core 0's
+        // dirty eviction PUT is in flight when core 1's GETX arrives,
+        // so the directory forwards the probe straight at the evictor
+        // and the 3-hop direct DATA path crosses the writeback.
+        Scenario s;
+        s.name = "wb-upgrade-cross-3hop";
+        s.note = "dirty eviction PUT crosses a 3-hop forwarded GETX";
+        s.stresses = {"writeback", "3hop", "value", "upgrade"};
+        s.numCores = 2;
+        s.regionBytes = 16;
+        s.l1Sets = 1;
+        s.l1BytesPerSet = 24;
+        s.threeHop = true;
+        s.accesses = {
+            {0, wordAddr(16, 0, 0), true, 0xd0},
+            {0, wordAddr(16, 0, 1), true, 0xd1},
+            {1, wordAddr(16, 0, 0), true, 0xd2},
+            {0, wordAddr(16, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // 3-hop forwarding on a fully-aliased Bloom directory: the
+        // forwarded probe set includes a false-positive target, so
+        // the single-probe 3-hop fast path must fall back cleanly
+        // when the "owner" answers NACK instead of DATA.
+        Scenario s;
+        s.name = "threehop-bloom-cross";
+        s.note = "3-hop fast path meets a Bloom false-positive owner";
+        s.stresses = {"3hop", "bloom-nack", "value"};
+        s.numCores = 2;
+        s.threeHop = true;
+        s.directory = DirectoryKind::TaglessBloom;
+        s.bloomBuckets = 1;
+        s.bloomHashes = 1;
+        s.accesses = {
+            {1, wordAddr(64, 2, 0), true, 0xe0},
+            {0, wordAddr(64, 0, 0), true, 0xe1},
+            {1, wordAddr(64, 0, 0), false, 0},
+            {0, wordAddr(64, 2, 0), false, 0},
         };
         lib.push_back(std::move(s));
     }

@@ -42,6 +42,18 @@ struct Scenario
     std::string name;
     /** What race the scenario targets (one line, for --list). */
     std::string note;
+    /**
+     * Invariants and mechanisms the scenario stresses, e.g. "swmr",
+     * "mw-split", "mr-overlap", "bloom-nack", "recall", "pinning",
+     * "writeback", "upgrade", "3hop" (shown by --list, greppable).
+     */
+    std::vector<std::string> stresses;
+    /**
+     * Deep-tier scenario: too wide for the PR-gating CI budget under
+     * full enumeration; run by the scheduled deep tier (and by the
+     * fast tier with POR where the reduced space fits).
+     */
+    bool deep = false;
 
     unsigned numCores = 2;
     unsigned regionBytes = 64;
@@ -54,6 +66,9 @@ struct Scenario
     unsigned l2Assoc = 8;
     bool threeHop = false;
     DirectoryKind directory = DirectoryKind::InCacheExact;
+    /** TaglessBloom geometry (buckets=1 forces full aliasing). */
+    unsigned bloomBuckets = 256;
+    unsigned bloomHashes = 2;
     /** Re-inject the fixed lost-store eviction race (regression). */
     bool debugLostStoreBug = false;
 

@@ -106,7 +106,9 @@ class Mesh
             // so per-pair FIFO order holds by construction.
             auto &chan =
                 parked[static_cast<std::size_t>(src) * nodes + dst];
-            chan.push_back(Parked{std::move(deliver)});
+            Parked p;
+            p.deliver = std::move(deliver);
+            chan.push_back(std::move(p));
             ++parkedTotal;
             return latency;
         }
@@ -190,6 +192,12 @@ class Mesh
         Addr region = 0;
         WordRange range;
         bool dstIsDir = false;
+        /**
+         * DATA grant: delivering it can complete the destination
+         * core's access and chain into its next ones. The explorer's
+         * partial-order reduction keys its independence rule on this.
+         */
+        bool isData = false;
     };
 
     /**
@@ -219,7 +227,7 @@ class Mesh
     void
     annotateParked(unsigned src, unsigned dst, std::uint64_t hash,
                    const char *type, Addr region, const WordRange &range,
-                   bool dst_is_dir)
+                   bool dst_is_dir, bool is_data)
     {
         auto &chan = parkedChannel(src, dst);
         PROTO_ASSERT(!chan.empty(), "annotating an empty channel");
@@ -229,6 +237,7 @@ class Mesh
         p.region = region;
         p.range = range;
         p.dstIsDir = dst_is_dir;
+        p.isData = is_data;
     }
 
     /**

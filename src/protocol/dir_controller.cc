@@ -167,8 +167,21 @@ DirController::busy(Addr region) const
 {
     if (active.contains(region))
         return true;
+    // A region with no active transaction is still pinned by queued
+    // requests *for that region* (they reactivate it when drained).
+    // Requests for other regions deferred behind it must not count:
+    // during drainQueue each re-dispatched waiter would see its
+    // sibling waiter in the queue, conclude the region is pinned, and
+    // re-defer behind it — two cross-region waiters then block each
+    // other forever (reachable with 3+ cores storming one L2 set).
     const auto *q = waiting.find(region);
-    return q && !q->empty();
+    if (!q)
+        return false;
+    bool own = false;
+    waitPool.forEach(*q, [&](const CoherenceMsg &m) {
+        own = own || m.region == region;
+    });
+    return own;
 }
 
 DirController::DirView

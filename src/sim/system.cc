@@ -83,7 +83,7 @@ System::send(CoherenceMsg msg)
 
     if (net->scheduleOracleEnabled())
         net->annotateParked(src, dst, fp, msgTypeName(type), region,
-                            range, to_dir);
+                            range, to_dir, type == MsgType::DATA);
 
     if (net->trackingEnabled()) {
         Mesh::QueuedMsg q;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Locks docs/PROTOCHECK.md to reality. The playbook's minimized-repro
+ * example lives in tests/snippets/protocheck_repro.inc, which is (a)
+ * #included below so it compiles and runs as real code, and (b)
+ * compared character-for-character against the fenced block in the
+ * doc — so the example in the playbook is guaranteed to compile and
+ * pass exactly as pasted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "protocol_driver.hh"
+
+using namespace protozoa;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(ProtocheckDoc, ReproExampleCompilesAndRunsClean)
+{
+#include "snippets/protocheck_repro.inc"
+}
+
+TEST(ProtocheckDoc, ReproExampleMatchesDocVerbatim)
+{
+    const std::string root = PROTOZOA_SOURCE_DIR;
+    const std::string doc = readFile(root + "/docs/PROTOCHECK.md");
+    const std::string snip =
+        readFile(root + "/tests/snippets/protocheck_repro.inc");
+    ASSERT_FALSE(doc.empty()) << "docs/PROTOCHECK.md missing";
+    ASSERT_FALSE(snip.empty())
+        << "tests/snippets/protocheck_repro.inc missing";
+    EXPECT_NE(doc.find(snip), std::string::npos)
+        << "the fenced repro example in docs/PROTOCHECK.md has "
+           "drifted from tests/snippets/protocheck_repro.inc";
+}
+
+TEST(ProtocheckDoc, PlaybookIsLinkedFromReadmeAndDesign)
+{
+    const std::string root = PROTOZOA_SOURCE_DIR;
+    EXPECT_NE(readFile(root + "/README.md").find("docs/PROTOCHECK.md"),
+              std::string::npos);
+    EXPECT_NE(readFile(root + "/DESIGN.md").find("docs/PROTOCHECK.md"),
+              std::string::npos);
+}

@@ -119,6 +119,147 @@ TEST(Explorer, MemoizationCollapsesPingpong)
     EXPECT_GT(r.memoHits, 0u);
 }
 
+/**
+ * POR soundness: sleep sets only ever skip redundant re-orderings of
+ * commuting deliveries, never a reachable quiescent state. For every
+ * fast-tier scenario and protocol, the reduced search must reach
+ * exactly the full enumeration's fingerprint set with the same
+ * verdict.
+ */
+TEST(Explorer, PorPreservesFingerprintsAndVerdicts)
+{
+    ExploreLimits on;
+    on.collectFingerprints = true;
+    ExploreLimits off = on;
+    off.por = false;
+    for (const Scenario &s : scenarioLibrary()) {
+        if (s.deep && s.name != "mw-word-churn")
+            continue; // deep full enumerations blow the unit-test budget
+        for (ProtocolKind proto :
+             {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+              ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+            const ExploreResult a = explore(s, proto, on);
+            const ExploreResult b = explore(s, proto, off);
+            ASSERT_FALSE(a.budgetExhausted)
+                << s.name << " " << protocolName(proto);
+            ASSERT_FALSE(b.budgetExhausted)
+                << s.name << " " << protocolName(proto);
+            EXPECT_EQ(a.violation.has_value(), b.violation.has_value())
+                << s.name << " " << protocolName(proto);
+            EXPECT_EQ(a.fingerprints, b.fingerprints)
+                << s.name << " " << protocolName(proto)
+                << ": POR reached " << a.fingerprints.size()
+                << " distinct states, full enumeration "
+                << b.fingerprints.size();
+        }
+    }
+}
+
+/**
+ * POR effectiveness, locked with memoization off on both sides so
+ * schedulesCompleted counts exactly what each search enumerated: the
+ * reduced search explores at least 3x fewer complete schedules than
+ * full enumeration on these pre-existing library scenarios, while
+ * reaching the identical fingerprint set.
+ */
+TEST(Explorer, PorReducesSchedulesAtLeast3x)
+{
+    const struct
+    {
+        const char *scenario;
+        ProtocolKind proto;
+    } cases[] = {
+        {"evict-vs-partial-probe", ProtocolKind::ProtozoaSW},
+        {"recall-inclusive", ProtocolKind::ProtozoaSWMR},
+        {"recall-inclusive", ProtocolKind::ProtozoaMW},
+    };
+    ExploreLimits on;
+    on.memo = false;
+    on.collectFingerprints = true;
+    ExploreLimits off = on;
+    off.por = false;
+    for (const auto &c : cases) {
+        const Scenario *s = findScenario(c.scenario);
+        ASSERT_NE(s, nullptr) << c.scenario;
+        const ExploreResult por = explore(*s, c.proto, on);
+        const ExploreResult full = explore(*s, c.proto, off);
+        ASSERT_FALSE(por.violation.has_value()) << c.scenario;
+        ASSERT_FALSE(full.violation.has_value()) << c.scenario;
+        EXPECT_GE(full.schedulesCompleted, 3 * por.schedulesCompleted)
+            << c.scenario << " " << protocolName(c.proto) << ": full="
+            << full.schedulesCompleted
+            << " por=" << por.schedulesCompleted;
+        EXPECT_EQ(por.fingerprints, full.fingerprints)
+            << c.scenario << " " << protocolName(c.proto);
+        // Counter sanity: the reduction above must come from sleep-set
+        // pruning of detected commutations, not from budget effects.
+        EXPECT_GT(por.porCommutations, 0u) << c.scenario;
+        EXPECT_GT(por.porPruned, 0u) << c.scenario;
+        EXPECT_EQ(full.porCommutations, 0u) << c.scenario;
+        EXPECT_EQ(full.porPruned, 0u) << c.scenario;
+    }
+}
+
+/**
+ * The 12-access PcSpatial stride scenario is only explorable because
+ * of POR: the predictor's history makes memoization unsound (and the
+ * explorer disables it), so full enumeration must walk every
+ * interleaving of the three access streams and exhausts the CI state
+ * budget, while the reduced search completes well inside it.
+ */
+TEST(Explorer, PorCompletesWhereFullEnumerationCannot)
+{
+    const Scenario *s = findScenario("pcspatial-stride-3core");
+    ASSERT_NE(s, nullptr);
+    ASSERT_GE(s->accesses.size(), 10u);
+    const ExploreResult por = explore(*s, ProtocolKind::ProtozoaMW);
+    EXPECT_FALSE(por.violation.has_value());
+    EXPECT_FALSE(por.budgetExhausted);
+    EXPECT_EQ(por.memoHits, 0u); // PcSpatial: memoization is off
+    ExploreLimits noPor;
+    noPor.por = false;
+    const ExploreResult full =
+        explore(*s, ProtocolKind::ProtozoaMW, noPor);
+    EXPECT_TRUE(full.budgetExhausted);
+}
+
+/**
+ * Regression lock for the cross-region waiter livelock in
+ * DirController::busy(): with 3+ cores storming a one-entry L2 set,
+ * two waiters deferred behind different regions of the same set used
+ * to re-defer behind each other forever during drainQueue. The
+ * bounded-quiesce oracle reports such a spin as a "livelock"
+ * violation; the storm scenarios must complete clean.
+ */
+TEST(Explorer, RecallStormCompletesWithoutLivelock)
+{
+    const Scenario *s = findScenario("recall-storm-3core");
+    ASSERT_NE(s, nullptr);
+    for (ProtocolKind proto :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+          ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        const ExploreResult r = explore(*s, proto);
+        EXPECT_FALSE(r.violation.has_value())
+            << protocolName(proto) << ": [" << r.violation->kind
+            << "] " << r.violation->detail;
+        EXPECT_FALSE(r.budgetExhausted) << protocolName(proto);
+    }
+}
+
+TEST(ScenarioLibrary, SizeTiersAndStressTags)
+{
+    const std::vector<Scenario> &lib = scenarioLibrary();
+    EXPECT_GE(lib.size(), 14u);
+    unsigned deep = 0;
+    for (const Scenario &s : lib) {
+        EXPECT_FALSE(s.stresses.empty()) << s.name;
+        EXPECT_FALSE(s.note.empty()) << s.name;
+        deep += s.deep ? 1 : 0;
+    }
+    EXPECT_GE(deep, 2u);
+    EXPECT_GE(lib.size() - deep, 6u); // fast PR-gating tier
+}
+
 TEST(Explorer, ReplayEmptyScheduleIsCanonicalAndClean)
 {
     const Scenario *s = findScenario("upgrade-race");
