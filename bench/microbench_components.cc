@@ -181,6 +181,74 @@ BM_MsgPayloadBuild(benchmark::State &state)
 BENCHMARK(BM_MsgPayloadBuild);
 
 void
+BM_MsgPayloadBulkBuild(benchmark::State &state)
+{
+    // The post-mask data path of the same payload assembly: whole
+    // segments land with setRange (one mask check + one memcpy) and
+    // drain run-wise via forEachRun instead of word-at-a-time.
+    const std::uint64_t run1[] = {1, 2, 3};
+    const std::uint64_t run2[] = {4, 5};
+    for (auto _ : state) {
+        MsgData data;
+        data.setRange(WordRange(0, 2), run1);
+        data.setRange(WordRange(5, 6), run2);
+        std::uint64_t sum = 0;
+        data.forEachRun(
+            [&](const WordRange &r, const std::uint64_t *src) {
+                for (unsigned i = 0; i < r.words(); ++i)
+                    sum += src[i];
+            });
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_MsgPayloadBulkBuild);
+
+void
+BM_MaskRunDecode(benchmark::State &state)
+{
+    // Sparse-mask -> contiguous-run decomposition (probe payload
+    // gather, payload merge): countr_zero/countr_one run splitting
+    // over a mix of dense, sparse, and fragmented masks.
+    const WordMask masks[] = {0xffff, 0x00f3, 0x5555, 0x8001,
+                              0x0ff0, 0xa5a5, 0x0001, 0xfffe};
+    unsigned i = 0;
+    for (auto _ : state) {
+        const WordMask m = masks[i++ & 7];
+        unsigned words = 0;
+        forEachMaskRun(m, [&](const WordRange &r) {
+            words += r.words();
+        });
+        benchmark::DoNotOptimize(words);
+        benchmark::DoNotOptimize(maskRunCount(m));
+    }
+}
+BENCHMARK(BM_MaskRunDecode);
+
+void
+BM_SetCoverageSnoop(benchmark::State &state)
+{
+    // Multi-block coherence snoops against a set whose word-coverage
+    // bitmap rejects most probes with one AND: the set holds blocks
+    // of the low half of each region, and half the probes ask for
+    // words nothing in the set covers.
+    SystemConfig cfg;
+    AmoebaCache cache(cfg);
+    const Addr stride = cfg.l1Sets * 64;   // always the same set
+    for (unsigned i = 0; i < 6; ++i)
+        cache.insert(makeBlock(stride * i, WordRange(0, 3)));
+    AmoebaCache::BlockPtrs hits;
+    Rng rng(6);
+    for (auto _ : state) {
+        const Addr region = stride * rng.below(6);
+        const unsigned lo = rng.chance(0.5) ? 0 : 4;
+        hits.clear();
+        cache.overlapping(region, WordRange(lo, lo + 3), hits);
+        benchmark::DoNotOptimize(hits.size());
+    }
+}
+BENCHMARK(BM_SetCoverageSnoop);
+
+void
 BM_FlatTableChurn(benchmark::State &state)
 {
     // Directory-style transaction churn: begin (emplace), look up,

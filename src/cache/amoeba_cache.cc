@@ -44,6 +44,9 @@ AmoebaCache::AmoebaCache(const SystemConfig &cfg)
         set.slots.resize(slotCap);
         set.order.reserve(slotCap);
         set.freeSlots.reserve(slotCap);
+        set.slotRegion.assign(slotCap, 0);
+        set.slotCover.assign(slotCap, 0);
+        set.slotLru.assign(slotCap, 0);
         for (unsigned i = slotCap; i-- > 0;)
             set.freeSlots.push_back(static_cast<std::uint16_t>(i));
     }
@@ -65,10 +68,12 @@ AmoebaBlock *
 AmoebaCache::findCovering(Addr region, unsigned word)
 {
     Set &set = sets[setOf(region)];
+    if (!((set.coverage >> word) & 1))
+        return nullptr;
     for (const std::uint16_t s : set.order) {
-        AmoebaBlock &blk = set.slots[s];
-        if (blk.region == region && blk.range.contains(word))
-            return &blk;
+        if (set.slotRegion[s] == region &&
+            ((set.slotCover[s] >> word) & 1))
+            return &set.slots[s];
     }
     return nullptr;
 }
@@ -78,9 +83,8 @@ AmoebaCache::blocksOfRegion(Addr region, BlockPtrs &out)
 {
     Set &set = sets[setOf(region)];
     for (const std::uint16_t s : set.order) {
-        AmoebaBlock &blk = set.slots[s];
-        if (blk.region == region)
-            out.push_back(&blk);
+        if (set.slotRegion[s] == region)
+            out.push_back(&set.slots[s]);
     }
 }
 
@@ -88,10 +92,12 @@ void
 AmoebaCache::overlapping(Addr region, const WordRange &r, BlockPtrs &out)
 {
     Set &set = sets[setOf(region)];
+    const WordMask m = r.mask();
+    if (!(set.coverage & m))
+        return;
     for (const std::uint16_t s : set.order) {
-        AmoebaBlock &blk = set.slots[s];
-        if (blk.region == region && blk.range.overlaps(r))
-            out.push_back(&blk);
+        if (set.slotRegion[s] == region && (set.slotCover[s] & m))
+            out.push_back(&set.slots[s]);
     }
 }
 
@@ -100,7 +106,7 @@ AmoebaCache::hasRegion(Addr region)
 {
     Set &set = sets[setOf(region)];
     for (const std::uint16_t s : set.order) {
-        if (set.slots[s].region == region)
+        if (set.slotRegion[s] == region)
             return true;
     }
     return false;
@@ -111,8 +117,7 @@ AmoebaCache::hasDirtyRegion(Addr region)
 {
     Set &set = sets[setOf(region)];
     for (const std::uint16_t s : set.order) {
-        const AmoebaBlock &blk = set.slots[s];
-        if (blk.region == region && blk.dirty())
+        if (set.slotRegion[s] == region && set.slots[s].dirty())
             return true;
     }
     return false;
@@ -123,8 +128,8 @@ AmoebaCache::hasWritableRegion(Addr region)
 {
     Set &set = sets[setOf(region)];
     for (const std::uint16_t s : set.order) {
-        const AmoebaBlock &blk = set.slots[s];
-        if (blk.region == region && blk.state != BlockState::S)
+        if (set.slotRegion[s] == region &&
+            set.slots[s].state != BlockState::S)
             return true;
     }
     return false;
@@ -136,10 +141,17 @@ AmoebaCache::takeAt(Set &set, std::size_t pos)
     const std::uint16_t s = set.order[pos];
     AmoebaBlock out = std::move(set.slots[s]);
     set.slots[s] = AmoebaBlock();
+    set.slotCover[s] = 0;
     set.order.erase(set.order.begin() +
                     static_cast<std::ptrdiff_t>(pos));
     set.freeSlots.push_back(s);
     set.bytesUsed -= blockCost(out.range);
+    // Coverage has no per-bit refcount; rebuild it from the compact
+    // masks of the survivors (removal is off the steady-state path).
+    WordMask cov = 0;
+    for (const std::uint16_t live : set.order)
+        cov |= set.slotCover[live];
+    set.coverage = cov;
     return out;
 }
 
@@ -153,8 +165,8 @@ AmoebaCache::makeRoom(Addr region, const WordRange &r, Evicted &out)
         PROTO_ASSERT(!set.order.empty(), "set over budget while empty");
         std::size_t victim = 0;
         for (std::size_t i = 1; i < set.order.size(); ++i) {
-            if (set.slots[set.order[i]].lruStamp <
-                set.slots[set.order[victim]].lruStamp)
+            if (set.slotLru[set.order[i]] <
+                set.slotLru[set.order[victim]])
                 victim = i;
         }
         out.push_back(takeAt(set, victim));
@@ -170,17 +182,23 @@ AmoebaCache::insert(AmoebaBlock blk)
                  "insert without room (set %u)", setOf(blk.region));
     PROTO_ASSERT(blk.words.size() == blk.range.words(),
                  "block data size mismatch");
-    for (const std::uint16_t s : set.order) {
-        const AmoebaBlock &res = set.slots[s];
-        PROTO_ASSERT(res.region != blk.region ||
-                     !res.range.overlaps(blk.range),
-                     "overlapping insert into region %llx",
-                     static_cast<unsigned long long>(blk.region));
+    const WordMask m = blk.range.mask();
+    if (set.coverage & m) {
+        for (const std::uint16_t s : set.order) {
+            PROTO_ASSERT(set.slotRegion[s] != blk.region ||
+                         !(set.slotCover[s] & m),
+                         "overlapping insert into region %llx",
+                         static_cast<unsigned long long>(blk.region));
+        }
     }
     PROTO_ASSERT(!set.freeSlots.empty(), "set slot pool exhausted");
     blk.lruStamp = ++lruClock;
     const std::uint16_t s = set.freeSlots.back();
     set.freeSlots.pop_back();
+    set.slotRegion[s] = blk.region;
+    set.slotCover[s] = m;
+    set.slotLru[s] = blk.lruStamp;
+    set.coverage |= m;
     set.slots[s] = std::move(blk);
     set.order.push_back(s);
     set.bytesUsed += cost;
@@ -191,9 +209,12 @@ AmoebaBlock
 AmoebaCache::removeExact(Addr region, const WordRange &r)
 {
     Set &set = sets[setOf(region)];
+    const WordMask m = r.mask();
     for (std::size_t pos = 0; pos < set.order.size(); ++pos) {
-        AmoebaBlock &blk = set.slots[set.order[pos]];
-        if (blk.region == region && blk.range == r)
+        const std::uint16_t s = set.order[pos];
+        // A contiguous mask determines its range, so cover equality
+        // is exact-range equality.
+        if (set.slotRegion[s] == region && set.slotCover[s] == m)
             return takeAt(set, pos);
     }
     panic("removeExact: block %llx %s not resident",
@@ -204,6 +225,9 @@ void
 AmoebaCache::touchLru(AmoebaBlock *blk)
 {
     blk->lruStamp = ++lruClock;
+    Set &set = sets[setOf(blk->region)];
+    set.slotLru[static_cast<std::size_t>(blk - set.slots.data())] =
+        blk->lruStamp;
 }
 
 std::size_t

@@ -165,13 +165,26 @@ class AmoebaCache
      * index array. Slot addresses never change, so block pointers
      * remain stable exactly as with the former std::list; removing an
      * order entry shifts only 16-bit indices.
+     *
+     * The scan-heavy lookups never touch the wide AmoebaBlock slots
+     * until a candidate matches: slotRegion/slotCover/slotLru mirror
+     * the tag, range mask, and LRU stamp of each live slot in compact
+     * parallel arrays, and `coverage` holds the OR of every live
+     * block's word mask so a snoop for words the set does not hold
+     * anywhere is rejected with a single AND. Entries of freed slots
+     * are stale but unreachable (scans walk `order` only).
      */
     struct Set
     {
         std::vector<AmoebaBlock> slots;
         std::vector<std::uint16_t> order;
         std::vector<std::uint16_t> freeSlots;
+        std::vector<Addr> slotRegion;
+        std::vector<WordMask> slotCover;
+        std::vector<std::uint64_t> slotLru;
         unsigned bytesUsed = 0;
+        /** OR of live blocks' range masks, across all regions. */
+        WordMask coverage = 0;
     };
 
     static unsigned blockCost(const WordRange &r);

@@ -1,5 +1,6 @@
 #include "common/word_range.hh"
 
+#include <bit>
 #include <sstream>
 
 namespace protozoa {
@@ -13,6 +14,15 @@ WordRange::toString() const
     else
         os << "[" << start << "-" << end << "]";
     return os.str();
+}
+
+unsigned
+maskRunCount(WordMask mask)
+{
+    // A run starts at every 0->1 transition scanning upward; those
+    // transitions are exactly the set bits of mask & ~(mask << 1).
+    return static_cast<unsigned>(
+        std::popcount(mask & ~(mask << 1)));
 }
 
 WordRange

@@ -12,6 +12,7 @@
 #define PROTOZOA_COMMON_WORD_RANGE_HH
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <string>
 
@@ -117,6 +118,59 @@ struct WordRange
     /** Human-readable "[s-e]" form for logs and tests. */
     std::string toString() const;
 };
+
+// ---- WordMask algebra -------------------------------------------------
+//
+// The bit-parallel data path works on WordMasks directly: a mask is
+// the canonical set-of-words representation, a WordRange names one
+// contiguous run of it. These helpers convert between the two without
+// per-bit loops, so every bulk copy can be a handful of memcpy calls.
+
+/** True when @p mask is one contiguous run of set bits (or empty). */
+constexpr bool
+maskIsContiguous(WordMask mask)
+{
+    if (mask == 0)
+        return true;
+    const WordMask norm =
+        mask >> static_cast<unsigned>(std::countr_zero(mask));
+    return (norm & (norm + 1)) == 0;
+}
+
+/** The single contiguous run of @p mask (must be contiguous, non-0). */
+constexpr WordRange
+rangeOfMask(WordMask mask)
+{
+    assert(mask != 0 && maskIsContiguous(mask));
+    const unsigned start =
+        static_cast<unsigned>(std::countr_zero(mask));
+    const unsigned end = kWordMaskBits - 1 -
+        static_cast<unsigned>(std::countl_zero(mask));
+    return WordRange(start, end);
+}
+
+/**
+ * Decompose @p mask into its maximal contiguous runs, ascending, and
+ * call @p fn with each run as a WordRange. A dense mask costs one
+ * callback; a fully sparse one degrades to popcount(mask) callbacks.
+ */
+template <typename F>
+constexpr void
+forEachMaskRun(WordMask mask, F &&fn)
+{
+    while (mask) {
+        const unsigned start =
+            static_cast<unsigned>(std::countr_zero(mask));
+        const unsigned len =
+            static_cast<unsigned>(std::countr_one(mask >> start));
+        const WordRange run(start, start + len - 1);
+        fn(run);
+        mask &= ~run.mask();
+    }
+}
+
+/** Number of maximal contiguous runs in @p mask. */
+unsigned maskRunCount(WordMask mask);
 
 /**
  * Shrink @p pred so that it still covers @p need but does not overlap

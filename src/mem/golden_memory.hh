@@ -75,6 +75,21 @@ class WordStore
         page.words[w] = value;
     }
 
+    /**
+     * Bulk-read @p nwords consecutive words starting at the word
+     * containing @p addr. The common case — a region-sized range
+     * inside one page — is a single probe plus one memcpy, replacing
+     * the per-word read() loop of the directory fill path.
+     */
+    void readRange(Addr addr, std::uint64_t *dst, unsigned nwords) const;
+
+    /**
+     * Bulk-write @p nwords consecutive words starting at the word
+     * containing @p addr: one probe, one memcpy, and one popcount
+     * update of the written bitmap per touched page.
+     */
+    void writeRange(Addr addr, const std::uint64_t *src, unsigned nwords);
+
     /** Words ever written (not merely residing on a touched page). */
     std::size_t touchedWords() const { return written; }
 

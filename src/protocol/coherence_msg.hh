@@ -16,6 +16,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "common/log.hh"
@@ -115,12 +116,68 @@ struct MsgData
         valid |= WordMask(1) << w;
     }
 
+    /**
+     * Bulk-add a contiguous run; @p src is indexed from r.start. The
+     * disjointness invariant is validated once against the whole run
+     * mask, and the payload words are copied with a single memcpy —
+     * the per-word set() loop this replaces validated and copied one
+     * word at a time.
+     */
+    void
+    setRange(const WordRange &r, const std::uint64_t *src)
+    {
+        if (r.empty())
+            return;
+        const WordMask m = r.mask();
+        PROTO_ASSERT(r.end < kMaxRegionWords, "payload run out of range");
+        PROTO_ASSERT((valid & m) == 0,
+                     "overlapping payload segments (run %u-%u)",
+                     r.start, r.end);
+        std::memcpy(&words[r.start], src,
+                    std::size_t(r.words()) * sizeof(std::uint64_t));
+        valid |= m;
+    }
+
     /** Add a contiguous run; @p src is indexed from r.start. */
     void
     addRun(const WordRange &r, const std::uint64_t *src)
     {
-        for (unsigned w = r.start; w <= r.end; ++w)
-            set(w, src[w - r.start]);
+        setRange(r, src);
+    }
+
+    /**
+     * Bulk-copy the carried words of @p r into @p dst (indexed from
+     * r.start). Every word of the range must be present; validated
+     * once against the run mask.
+     */
+    void
+    copyOut(const WordRange &r, std::uint64_t *dst) const
+    {
+        if (r.empty())
+            return;
+        PROTO_ASSERT((valid & r.mask()) == r.mask(),
+                     "reading absent payload run %u-%u", r.start, r.end);
+        std::memcpy(dst, &words[r.start],
+                    std::size_t(r.words()) * sizeof(std::uint64_t));
+    }
+
+    /**
+     * Mask-OR merge of another payload. The carried word sets must be
+     * disjoint (validated with one AND); each of @p o's runs lands
+     * with a single memcpy.
+     */
+    void
+    mergeFrom(const MsgData &o)
+    {
+        PROTO_ASSERT((valid & o.valid) == 0,
+                     "overlapping payload merge (masks %x & %x)",
+                     valid, o.valid);
+        forEachMaskRun(o.valid, [&](const WordRange &run) {
+            std::memcpy(&words[run.start], &o.words[run.start],
+                        std::size_t(run.words()) *
+                            sizeof(std::uint64_t));
+        });
+        valid |= o.valid;
     }
 
     /** Visit every carried (word, value), ascending word order. */
@@ -135,6 +192,20 @@ struct MsgData
             rest &= rest - 1;
             fn(w, words[w]);
         }
+    }
+
+    /**
+     * Visit every carried maximal contiguous run as (range, src)
+     * where @p src is indexed from range.start — the bulk-copy
+     * counterpart of forEachWord.
+     */
+    template <typename F>
+    void
+    forEachRun(F &&fn) const
+    {
+        forEachMaskRun(valid, [&](const WordRange &run) {
+            fn(run, &words[run.start]);
+        });
     }
 };
 

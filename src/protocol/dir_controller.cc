@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <sstream>
 
 #include "common/log.hh"
@@ -375,8 +376,8 @@ DirController::finishRecall(Addr victim)
     L2Entry *entry = lookup(victim);
     PROTO_ASSERT(entry, "recall victim vanished");
     if (entry->dirty) {
-        for (unsigned w = 0; w < cfg.regionWords(); ++w)
-            memImage.write(victim + w * kWordBytes, entry->words[w]);
+        memImage.writeRange(victim, entry->words.data(),
+                            cfg.regionWords());
         stats.memWriteBytes += cfg.regionBytes;
     }
 
@@ -401,9 +402,9 @@ DirController::fetchFromMemory(Addr region)
     eventq.scheduleAt(when, [this, region] {
         L2Entry *entry = lookup(region);
         PROTO_ASSERT(entry && entry->filling, "fill target vanished");
-        entry->words.resize(cfg.regionWords());
-        for (unsigned w = 0; w < cfg.regionWords(); ++w)
-            entry->words[w] = memImage.read(region + w * kWordBytes);
+        entry->wordCount = cfg.regionWords();
+        memImage.readRange(region, entry->words.data(),
+                           cfg.regionWords());
         entry->filling = false;
         probePhase(region);
     });
@@ -514,8 +515,10 @@ DirController::patchPayload(L2Entry &entry, const MsgData &data)
     if (data.empty())
         return;
     PROTO_ASSERT(!entry.filling, "patch into filling entry");
-    data.forEachWord(
-        [&](unsigned w, std::uint64_t v) { entry.words[w] = v; });
+    data.forEachRun([&](const WordRange &run, const std::uint64_t *src) {
+        std::memcpy(&entry.words[run.start], src,
+                    std::size_t(run.words()) * sizeof(std::uint64_t));
+    });
     entry.dirty = true;
 }
 
@@ -592,9 +595,8 @@ DirController::respond(Addr region)
         const bool dataless = txn.upgrade && entry->readers.test(req);
         data.grant = GrantState::M;
         if (!dataless) {
-            for (unsigned w = txn.reqRange.start; w <= txn.reqRange.end;
-                 ++w)
-                data.data.set(w, entry->words[w]);
+            data.data.setRange(txn.reqRange,
+                               &entry->words[txn.reqRange.start]);
         }
         setWriter(*entry, req);
         clearReader(*entry, req);
@@ -621,8 +623,8 @@ DirController::respond(Addr region)
         } else {
             setReader(*entry, req);
         }
-        for (unsigned w = txn.reqRange.start; w <= txn.reqRange.end; ++w)
-            data.data.set(w, entry->words[w]);
+        data.data.setRange(txn.reqRange,
+                           &entry->words[txn.reqRange.start]);
     }
 
     entry->lruStamp = ++lruClock;

@@ -29,6 +29,7 @@
 #ifndef PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH
 #define PROTOZOA_PROTOCOL_DIR_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -167,7 +168,7 @@ class DirController
                 fn(EntrySnap{e.region, e.filling, e.dirty,
                              e.readers.raw(), e.writers.raw(),
                              e.lruStamp, s, e.words.data(),
-                             static_cast<unsigned>(e.words.size())});
+                             e.wordCount});
             }
         }
     }
@@ -230,7 +231,16 @@ class DirController
         std::uint64_t lruStamp = 0;
         CoreSet readers;
         CoreSet writers;
-        std::vector<std::uint64_t> words;
+        /**
+         * Data words, inline: fetchFromMemory fills them with one
+         * bulk memcpy from the memory image and never allocates.
+         * wordCount is 0 until the first fill and regionWords()
+         * afterwards (it survives slot reuse, exactly like the size
+         * of the heap vector this replaces, so protocheck
+         * fingerprints are unchanged).
+         */
+        std::array<std::uint64_t, kMaxRegionWords> words;
+        unsigned wordCount = 0;
     };
 
     /** An in-flight transaction (request or inclusive-eviction recall). */

@@ -107,8 +107,7 @@ L1Controller::tryCollectDirect(Addr region, const WordRange &range,
     WordMask covered = 0;
     for (AmoebaBlock *b : blocks) {
         const WordRange part = b->range.intersect(range);
-        for (unsigned w = part.start; w <= part.end; ++w)
-            out.set(w, b->wordAt(w));
+        out.setRange(part, &b->words[part.start - b->range.start]);
         covered |= part.mask();
     }
     return covered == range.mask();
@@ -432,8 +431,7 @@ L1Controller::handleData(const CoherenceMsg &msg)
     blk.fetchPc = mshr->pc;
     blk.missWord = static_cast<std::uint8_t>(word);
     blk.words.assign(msg.range.words(), 0);
-    for (unsigned w = msg.range.start; w <= msg.range.end; ++w)
-        blk.words[w - msg.range.start] = msg.data.at(w);
+    msg.data.copyOut(msg.range, blk.words.data());
     blk.touched = WordMask(1) << word;
 
     std::uint64_t value = 0;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 #include <sstream>
 
 #include "common/log.hh"
@@ -316,21 +315,133 @@ System::report() const
     return out;
 }
 
+System::InvAcc &
+System::invFindOrCreate(Addr region)
+{
+    auto mixAddr = [](Addr key) {
+        std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    for (;;) {
+        std::size_t i = static_cast<std::size_t>(mixAddr(region)) &
+                        (invTable.size() - 1);
+        std::size_t probes = 0;
+        while (invTable[i].epoch == invEpoch) {
+            if (invTable[i].region == region)
+                return invTable[i];
+            i = (i + 1) & (invTable.size() - 1);
+            // Growth happens during warmup only: once the resident
+            // block population peaks, the table size is sticky and
+            // the check allocates nothing.
+            if (++probes * 2 > invTable.size())
+                break;
+        }
+        if (invTable[i].epoch != invEpoch) {
+            InvAcc &acc = invTable[i];
+            acc.region = region;
+            acc.epoch = invEpoch;
+            acc.all = acc.multi = acc.cur = acc.writerWords = 0;
+            acc.distinctCores = 0;
+            acc.writers = CoreSet();
+            return acc;
+        }
+        std::vector<InvAcc> old = std::move(invTable);
+        invTable.assign(old.size() * 2, InvAcc());
+        for (InvAcc &acc : old) {
+            if (acc.epoch != invEpoch)
+                continue;
+            std::size_t j = static_cast<std::size_t>(
+                                mixAddr(acc.region)) &
+                            (invTable.size() - 1);
+            while (invTable[j].epoch == invEpoch)
+                j = (j + 1) & (invTable.size() - 1);
+            invTable[j] = acc;
+        }
+    }
+}
+
 std::optional<std::string>
 System::checkCoherenceInvariant()
 {
-    struct Holder
-    {
-        CoreId core;
-        WordRange range;
-        BlockState state;
-    };
-    std::map<Addr, std::vector<Holder>> byRegion;
+    const bool region_granularity =
+        cfg.protocol == ProtocolKind::MESI ||
+        cfg.protocol == ProtocolKind::ProtozoaSW;
+    const bool single_writer =
+        cfg.protocol != ProtocolKind::ProtozoaMW;
 
+    // One O(blocks) streaming pass: fold every resident block's word
+    // mask into its region's accumulator. Blocks arrive core-major
+    // (cores scanned in order), so each region sees one core's blocks
+    // as a contiguous run; folding the per-core aggregate into
+    // `multi` at core boundaries yields the words held by two or more
+    // distinct cores — no sorting, no per-pair scan.
+    if (invTable.empty())
+        invTable.assign(1024, InvAcc());
+    ++invEpoch;
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         l1s[c]->cacheStorage().forEach([&](const AmoebaBlock &blk) {
-            byRegion[blk.region].push_back(
-                Holder{c, blk.range, blk.state});
+            InvAcc &acc = invFindOrCreate(blk.region);
+            const WordMask m = blk.range.mask();
+            if (acc.distinctCores == 0) {
+                acc.lastCore = c;
+                acc.distinctCores = 1;
+            } else if (acc.lastCore != c) {
+                acc.multi |= acc.all & acc.cur;
+                acc.all |= acc.cur;
+                acc.cur = 0;
+                acc.lastCore = c;
+                ++acc.distinctCores;
+            }
+            acc.cur |= m;
+            if (blk.state != BlockState::S) {
+                acc.writers.set(c);
+                acc.writerWords |= m;
+            }
+        });
+    }
+
+    // Word granularity: a conflict is a word inside some non-S block
+    // that a second core also covers. Region granularity: a writer
+    // plus any other holder conflicts regardless of words. The former
+    // map-of-vectors scan reported the lowest violating region, so
+    // take the minimum before building the message.
+    bool found = false;
+    Addr badRegion = 0;
+    for (InvAcc &acc : invTable) {
+        if (acc.epoch != invEpoch)
+            continue;
+        const WordMask multi = acc.multi | (acc.all & acc.cur);
+        const bool violation =
+            (single_writer && acc.writers.count() > 1) ||
+            (region_granularity
+                 ? (acc.writers.any() && acc.distinctCores >= 2)
+                 : (acc.writerWords & multi) != 0);
+        if (violation && (!found || acc.region < badRegion)) {
+            found = true;
+            badRegion = acc.region;
+        }
+    }
+    if (found)
+        return reportViolation(badRegion);
+    return std::nullopt;
+}
+
+/**
+ * Violating runs only: re-gather the region's holders in the original
+ * core-major order and rerun the exact checks of the former pairwise
+ * scan, so the reported message is identical to the pre-mask checker.
+ */
+std::optional<std::string>
+System::reportViolation(Addr region)
+{
+    auto &holders = invScratch;
+    holders.clear();
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1s[c]->cacheStorage().forEach([&](const AmoebaBlock &blk) {
+            if (blk.region == region)
+                holders.push_back(InvHolder{c, blk.state, blk.range});
         });
     }
 
@@ -340,51 +451,49 @@ System::checkCoherenceInvariant()
     const bool single_writer =
         cfg.protocol != ProtocolKind::ProtozoaMW;
 
-    for (const auto &[region, holders] : byRegion) {
-        CoreSet writers;
-        for (const auto &h : holders) {
-            if (h.state != BlockState::S)
-                writers.set(h.core);
-        }
+    CoreSet writers;
+    for (const auto &h : holders) {
+        if (h.state != BlockState::S)
+            writers.set(h.core);
+    }
+    if (single_writer && writers.count() > 1) {
+        std::ostringstream os;
+        os << "region 0x" << std::hex << region << std::dec << ": "
+           << writers.count() << " concurrent writers under "
+           << protocolName(cfg.protocol);
+        return os.str();
+    }
 
-        if (single_writer && writers.count() > 1) {
-            std::ostringstream os;
-            os << "region 0x" << std::hex << region << std::dec
-               << ": " << writers.count()
-               << " concurrent writers under "
-               << protocolName(cfg.protocol);
-            return os.str();
-        }
-
-        for (std::size_t i = 0; i < holders.size(); ++i) {
-            for (std::size_t j = i + 1; j < holders.size(); ++j) {
-                const Holder &a = holders[i];
-                const Holder &b = holders[j];
-                if (a.core == b.core)
-                    continue;
-                const bool writer_involved =
-                    a.state != BlockState::S ||
-                    b.state != BlockState::S;
-                if (!writer_involved)
-                    continue;
-                const bool conflict = region_granularity
-                    ? true
-                    : a.range.overlaps(b.range);
-                if (conflict) {
-                    std::ostringstream os;
-                    os << "region 0x" << std::hex << region << std::dec
-                       << ": core " << a.core << " "
-                       << blockStateName(a.state) << a.range.toString()
-                       << " vs core " << b.core << " "
-                       << blockStateName(b.state) << b.range.toString()
-                       << " violates SWMR under "
-                       << protocolName(cfg.protocol);
-                    return os.str();
-                }
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+        for (std::size_t j = i + 1; j < holders.size(); ++j) {
+            const InvHolder &a = holders[i];
+            const InvHolder &b = holders[j];
+            if (a.core == b.core)
+                continue;
+            const bool writer_involved = a.state != BlockState::S ||
+                                         b.state != BlockState::S;
+            if (!writer_involved)
+                continue;
+            const bool conflict = region_granularity
+                ? true
+                : a.range.overlaps(b.range);
+            if (conflict) {
+                std::ostringstream os;
+                os << "region 0x" << std::hex << region << std::dec
+                   << ": core " << a.core << " "
+                   << blockStateName(a.state) << a.range.toString()
+                   << " vs core " << b.core << " "
+                   << blockStateName(b.state) << b.range.toString()
+                   << " violates SWMR under "
+                   << protocolName(cfg.protocol);
+                return os.str();
             }
         }
     }
-    return std::nullopt;
+    // The mask sweep flagged this region, so one of the paths above
+    // must fire.
+    panic("invariant sweep flagged region 0x%llx but no pair conflicts",
+          static_cast<unsigned long long>(region));
 }
 
 } // namespace protozoa

@@ -140,6 +140,44 @@ class System : public Router
     std::uint64_t invariantErrors = 0;
     std::string firstInvariantError;
 
+    /**
+     * Per-region accumulator of the invariant sweep: whole-mask
+     * coverage folded core by core (blocks stream in core-major
+     * order), so conflicts fall out of a few ANDs per region with no
+     * sorting and no per-pair scan. Slots are recycled across checks
+     * via the epoch stamp; the table only grows (warmup), never
+     * clears.
+     */
+    struct InvAcc
+    {
+        Addr region = 0;
+        std::uint64_t epoch = 0;
+        /** Words covered by cores folded so far / by >=2 cores. */
+        WordMask all = 0;
+        WordMask multi = 0;
+        /** Aggregate mask of the core currently streaming in. */
+        WordMask cur = 0;
+        WordMask writerWords = 0;
+        CoreId lastCore = 0;
+        unsigned distinctCores = 0;
+        CoreSet writers;
+    };
+    std::vector<InvAcc> invTable;
+    std::uint64_t invEpoch = 0;
+
+    /** One resident L1 block (violation fallback path only). */
+    struct InvHolder
+    {
+        CoreId core;
+        BlockState state;
+        WordRange range;
+    };
+    /** Reusable scratch of checkCoherenceInvariant (capacity sticks). */
+    std::vector<InvHolder> invScratch;
+
+    InvAcc &invFindOrCreate(Addr region);
+    std::optional<std::string> reportViolation(Addr region);
+
     Cycle watchdogBound = 0;
     WatchdogHandler watchdogHandler;
     bool watchdogArmed = false;

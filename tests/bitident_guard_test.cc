@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-identical output guard for the word-mask data path.
+ *
+ * The bulk mask/segment operations are pure strength reduction: they
+ * must not change a single statistic of any run. This test locks a
+ * small (scale 0.05, the CI smoke scale) MESI and Protozoa-MW paper
+ * benchmark run to a committed digest of every deterministic RunStats
+ * field. Any change to protocol behavior, message ordering, fill
+ * contents, or stats accounting moves the digest; wall-clock metrics
+ * are excluded.
+ *
+ * If a deliberate behavioral change lands, rerun this test and update
+ * kGoldenDigest to the value printed in the failure message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "protozoa/protozoa.hh"
+
+namespace protozoa {
+namespace {
+
+class Digest
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        // FNV-1a over the value's bytes, 64-bit folded.
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return h; }
+
+  private:
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+};
+
+void
+addStats(Digest &d, const RunStats &s)
+{
+    d.add(s.l1.loads);
+    d.add(s.l1.stores);
+    d.add(s.l1.hits);
+    d.add(s.l1.misses);
+    d.add(s.l1.invMsgsReceived);
+    d.add(s.l1.blocksInvalidated);
+    d.add(s.l1.usedDataBytes);
+    d.add(s.l1.unusedDataBytes);
+    for (const std::uint64_t v : s.l1.ctrlBytes)
+        d.add(v);
+    for (const std::uint64_t v : s.l1.blockSizeHist)
+        d.add(v);
+    d.add(s.dir.requests);
+    d.add(s.dir.l2Misses);
+    d.add(s.dir.recalls);
+    d.add(s.dir.memReadBytes);
+    d.add(s.dir.memWriteBytes);
+    d.add(s.dir.bloomFalseProbes);
+    d.add(s.dir.threeHopDirect);
+    d.add(s.dir.ownedOneOwnerOnly);
+    d.add(s.dir.ownedOneOwnerPlusSharers);
+    d.add(s.dir.ownedMultiOwner);
+    d.add(s.net.messages);
+    d.add(s.net.bytes);
+    d.add(s.net.flits);
+    d.add(s.net.flitHops);
+    // Kernel counters are deterministic; wallSeconds is not.
+    d.add(s.kernel.eventsScheduled);
+    d.add(s.kernel.eventsExecuted);
+    d.add(s.kernel.bucketScheduled);
+    d.add(s.kernel.heapScheduled);
+    d.add(s.kernel.maxQueueDepth);
+    d.add(s.instructions);
+    d.add(s.cycles);
+}
+
+TEST(BitIdenticalGuard, SmallRunDigestIsStable)
+{
+    constexpr double kScale = 0.05;
+    constexpr std::uint64_t kGoldenDigest = 0xff0addbe33116b92ULL;
+
+    Digest d;
+    for (ProtocolKind kind :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaMW}) {
+        for (const char *bench : {"apache", "canneal"}) {
+            SystemConfig cfg;
+            cfg.protocol = kind;
+            addStats(d, runBenchmark(cfg, bench, kScale));
+        }
+    }
+
+    EXPECT_EQ(d.value(), kGoldenDigest)
+        << "stats digest changed: 0x" << std::hex << d.value()
+        << " (update kGoldenDigest only for a deliberate behavioral "
+           "change)";
+}
+
+} // namespace
+} // namespace protozoa
