@@ -11,6 +11,7 @@
  *
  *   protocheck --tier fast                      # PR-gating CI entry
  *   protocheck --tier deep --max-states 2000000 # scheduled CI entry
+ *   protocheck --tier large                     # 64/256-core meshes
  *   protocheck --scenario evict-vs-partial-probe --protocol mw -v
  *   protocheck --no-por --scenario upgrade-race # full enumeration
  *   protocheck --json stats.json --tier all     # machine-readable
@@ -52,7 +53,8 @@ void
 usage()
 {
     std::puts(
-        "usage: protocheck [--scenario <name>|all] [--tier fast|deep|all]\n"
+        "usage: protocheck [--scenario <name>|all]\n"
+        "                  [--tier fast|deep|large|all]\n"
         "                  [--protocol mesi|sw|swmr|mw|all]\n"
         "                  [--max-states N] [--no-por] [--no-memo]\n"
         "                  [--json FILE]\n"
@@ -151,8 +153,8 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--list") == 0) {
             for (const Scenario &s : scenarioLibrary())
                 std::printf("%-24s %-5s %-40s [%s]\n", s.name.c_str(),
-                            s.deep ? "deep" : "fast", s.note.c_str(),
-                            joinStresses(s).c_str());
+                            s.large ? "large" : s.deep ? "deep" : "fast",
+                            s.note.c_str(), joinStresses(s).c_str());
             return 0;
         } else if (std::strcmp(argv[i], "-v") == 0) {
             verbose = true;
@@ -161,7 +163,8 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (tierArg != "fast" && tierArg != "deep" && tierArg != "all") {
+    if (tierArg != "fast" && tierArg != "deep" && tierArg != "large" &&
+        tierArg != "all") {
         usage();
         return 2;
     }
@@ -169,9 +172,11 @@ main(int argc, char **argv)
     std::vector<Scenario> scenarios;
     if (scenarioArg.empty() || scenarioArg == "all") {
         for (const Scenario &s : scenarioLibrary()) {
-            if (tierArg == "fast" && s.deep)
+            if (tierArg == "fast" && (s.deep || s.large))
                 continue;
             if (tierArg == "deep" && !s.deep)
+                continue;
+            if (tierArg == "large" && !s.large)
                 continue;
             scenarios.push_back(s);
         }

@@ -13,6 +13,8 @@
  * documented transition with its hit count. Argument "--small" runs
  * the hostile 4-core 2x2 grid instead: ~10x the seeds for the same
  * wall-clock, trading system size for interleaving diversity.
+ * Argument "--large" runs the 64-core 8x8 grid: fewer seeds, but
+ * recall/invalidation fan-outs span 64-wide sharer masks.
  */
 
 #include <cstdio>
@@ -30,16 +32,20 @@ main(int argc, char **argv)
 {
     bool verbose = false;
     bool small = false;
+    bool large = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-v") == 0)
             verbose = true;
         else if (std::strcmp(argv[i], "--small") == 0)
             small = true;
+        else if (std::strcmp(argv[i], "--large") == 0)
+            large = true;
     }
     const double scale = envScale();
 
-    CampaignSpec spec =
-        small ? CampaignSpec::smallSystem() : CampaignSpec();
+    CampaignSpec spec = small   ? CampaignSpec::smallSystem()
+                        : large ? CampaignSpec::largeMesh()
+                                : CampaignSpec();
     spec.accessesPerCore =
         static_cast<std::uint64_t>(2000 * scale) + 1;
     spec.progress = false;

@@ -47,7 +47,7 @@ struct ChannelInfo
     /** Memory-image regions (footprint-region bits). */
     std::uint64_t image = 0;
     /** Mesh nodes the delivery cascade can emit messages to. */
-    std::uint64_t emit = 0;
+    CoreSet emit;
 };
 
 /**
@@ -76,7 +76,7 @@ independent(const ChannelInfo &a, const ChannelInfo &b)
         return false;
     if (a.dst != b.dst)
         return true; // emissions originate at different nodes
-    return (a.emit & b.emit) == 0;
+    return !a.emit.intersects(b.emit);
 }
 
 /**
@@ -101,9 +101,8 @@ class Run
         setsPerTile = static_cast<unsigned>(
             cfg.l2BytesPerTile / cfg.regionBytes / cfg.l2Assoc);
         for (Addr r : regions)
-            homeTiles |= std::uint64_t(1)
-                << ((r / cfg.regionBytes) % cfg.l2Tiles);
-        allNodes = (std::uint64_t(1) << cfg.numCores) - 1;
+            homeTiles.set(static_cast<CoreId>(cfg.homeTileOf(r)));
+        allNodes = CoreSet::firstN(cfg.numCores);
 
         for (CoreId c = 0; c < cfg.numCores; ++c)
             issueNext(c);
@@ -187,8 +186,8 @@ class Run
             sys.l1(c).cacheStorage().forEach([&](const AmoebaBlock &b) {
                 if (bad)
                     return;
-                const TileId home = static_cast<TileId>(
-                    (b.region / cfg.regionBytes) % cfg.l2Tiles);
+                const TileId home =
+                    static_cast<TileId>(cfg.homeTileOf(b.region));
                 if (sys.dir(home).view(b.region).present ||
                     sys.dir(home).hasActiveTxn(b.region))
                     return;
@@ -343,7 +342,7 @@ class Run
         for (std::size_t r = 0; r < regions.size(); ++r) {
             const Addr ridx = regions[r] / cfg.regionBytes;
             if (regions[r] != region &&
-                (ridx % cfg.l2Tiles != tile ||
+                (cfg.homeTileOf(regions[r]) != tile ||
                  (ridx / cfg.l2Tiles) % setsPerTile != set))
                 continue;
             mask |= std::uint64_t(1) << r;
@@ -359,7 +358,7 @@ class Run
      * forwarding a probe makes the owner supply DATA directly to the
      * requesting core, which can be any node.
      */
-    std::uint64_t
+    CoreSet
     l1EmitTargets(const char *type) const
     {
         if (cfg.threeHop && (std::strncmp(type, "FWD", 3) == 0 ||
@@ -381,7 +380,7 @@ class Run
      * Bloom directory's probe set is a superset of the true sharers
      * bounded only by the filter, so it pessimizes to every core.
      */
-    std::uint64_t
+    CoreSet
     dirEmitTargets(unsigned tile, Addr region, unsigned src,
                    const char *type)
     {
@@ -395,8 +394,9 @@ class Run
         // delivery to this tile is same-controller dependent and
         // wakes it, and no other delivery changes the active set.
         if (request && d.hasActiveTxn(region))
-            return 0;
-        std::uint64_t m = std::uint64_t(1) << src;
+            return CoreSet();
+        CoreSet m;
+        m.set(static_cast<CoreId>(src));
         if (std::strcmp(type, "PUT") == 0)
             return m;
         if (cfg.directory == DirectoryKind::TaglessBloom)
@@ -404,15 +404,17 @@ class Run
         const Addr set =
             (region / cfg.regionBytes / cfg.l2Tiles) % setsPerTile;
         d.forEachEntry([&](const DirController::EntrySnap &e) {
-            if (e.setIndex == set)
-                m |= e.readers | e.writers;
+            if (e.setIndex == set) {
+                m |= e.readers;
+                m |= e.writers;
+            }
         });
         d.forEachTxn([&](const DirController::TxnSnap &t) {
-            m |= std::uint64_t(1) << t.requester;
+            m.set(t.requester);
         });
         d.forEachWaitingMsg([&](Addr, const CoherenceMsg &w) {
-            m |= (std::uint64_t(1) << w.sender) |
-                 (std::uint64_t(1) << w.requester);
+            m.set(w.sender);
+            m.set(w.requester);
         });
         return m;
     }
@@ -475,9 +477,9 @@ class Run
     std::vector<Addr> regions;
     unsigned setsPerTile = 1;
     /** Home-tile node bits of every footprint region. */
-    std::uint64_t homeTiles = 0;
+    CoreSet homeTiles;
     /** All core-node bits (3-hop / Bloom emission pessimization). */
-    std::uint64_t allNodes = 0;
+    CoreSet allNodes;
 
     /** Non-empty channels at the current quiescent point, canonical. */
     std::vector<ChannelInfo> front;
@@ -523,8 +525,11 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
 
     auto run = std::make_unique<Run>(s, proto);
     const unsigned nodes = run->nodes();
-    PROTO_ASSERT(nodes * nodes <= 64,
-                 "sleep masks support up to 64 channels (8 nodes)");
+    // Sleep masks pack one bit per (src,dst) channel into a uint64, so
+    // POR is only available up to 8 mesh nodes. Larger scenarios fall
+    // back to plain (memoized) search — and must never even compute a
+    // channel bit, whose shift would overflow.
+    const bool por = lim.por && nodes * nodes <= 64;
     const auto chanBit = [nodes](const ChannelInfo &c) {
         return std::uint64_t(1) << (c.src * nodes + c.dst);
     };
@@ -532,7 +537,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
     // inherited-asleep channel that commutes with the chosen delivery
     // stays asleep below it; dependent channels wake up.
     const auto childSleep = [&](const Level &lv, unsigned k) {
-        if (!lim.por)
+        if (!por)
             return std::uint64_t(0);
         std::uint64_t out = 0;
         const std::uint64_t candidates = lv.sleepIn | lv.explored;
@@ -567,7 +572,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         std::vector<unsigned> order;
         if (!leaf) {
             for (unsigned k = 0; k < width; ++k) {
-                if (lim.por && (sleep & chanBit(frontier[k])) != 0) {
+                if (por && (sleep & chanBit(frontier[k])) != 0) {
                     ++res.porPruned;
                     continue;
                 }
@@ -625,7 +630,8 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
                 break;
             }
             Level &lv = stack.back();
-            lv.explored |= chanBit(lv.frontier[lv.order[lv.pos]]);
+            if (por)
+                lv.explored |= chanBit(lv.frontier[lv.order[lv.pos]]);
             ++lv.pos;
             if (lv.pos < lv.order.size())
                 break;

@@ -21,8 +21,11 @@ Scenario::toConfig(ProtocolKind proto) const
 
     cfg.numCores = numCores;
     cfg.l2Tiles = numCores;
-    cfg.meshCols = numCores;
-    cfg.meshRows = 1;
+    // Legacy scenarios use an N x 1 mesh (geometry only affects hop
+    // latency, not reachable protocol states); large-mesh scenarios
+    // pick a real 2-D grid.
+    cfg.meshCols = meshCols != 0 ? meshCols : numCores;
+    cfg.meshRows = meshRows != 0 ? meshRows : 1;
 
     cfg.regionBytes = regionBytes;
     cfg.l1Sets = l1Sets;
@@ -425,6 +428,83 @@ buildLibrary()
             {0, wordAddr(64, 0, 0), true, 0xe1},
             {1, wordAddr(64, 0, 0), false, 0},
             {0, wordAddr(64, 2, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Wide-mask boundary race on a real 8x8 mesh: the corner
+        // cores 0 and 63 (bit 0 and bit 63 of sharer-mask word 0)
+        // race S->M upgrades on one word. Same race as
+        // "upgrade-race", but the 64-node geometry drives every
+        // sharer set to the top of the first mask word and disables
+        // sleep-set POR (64 nodes > the 8-node channel-bitmap limit),
+        // so this also regression-locks the POR auto-off path.
+        Scenario s;
+        s.name = "upgrade-race-8x8";
+        s.note = "corner cores 0/63 race upgrades on an 8x8 mesh";
+        s.stresses = {"swmr", "value", "upgrade", "large-mesh"};
+        s.large = true;
+        s.numCores = 64;
+        s.meshCols = 8;
+        s.meshRows = 8;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), false, 0},
+            {63, wordAddr(64, 0, 0), false, 0},
+            {0, wordAddr(64, 0, 0), true, 0xf0},
+            {63, wordAddr(64, 0, 0), true, 0xf1},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Recall storm across an 8x8 mesh: four corner cores populate
+        // tile 0's only L2 entry with three colliding regions (region
+        // indices 0, 64, 128 all home on tile 0 and share its single
+        // set), so each fill recalls the previous region from sharers
+        // on opposite corners of the mesh. Exercises recall fan-out
+        // with 64-wide sharer masks and the pinned-set deferral at
+        // scale.
+        Scenario s;
+        s.name = "recall-storm-8x8";
+        s.note = "corner cores churn tile 0's one-entry set on 8x8";
+        s.stresses = {"recall", "pinning", "inclusion", "value",
+                      "large-mesh"};
+        s.large = true;
+        s.numCores = 64;
+        s.meshCols = 8;
+        s.meshRows = 8;
+        s.l2BytesPerTile = 64;
+        s.l2Assoc = 1;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), true, 0xc0},
+            {63, wordAddr(64, 0, 1), false, 0},
+            {7, wordAddr(64, 64, 0), true, 0xc1},
+            {56, wordAddr(64, 128, 0), true, 0xc2},
+            {63, wordAddr(64, 0, 0), false, 0},
+        };
+        lib.push_back(std::move(s));
+    }
+
+    {
+        // Minimal 16x16 widest-mask smoke: cores 0 and 255 (bit 63 of
+        // mask word 3) share then split one region. Keeps the
+        // schedule space tiny — the point is that a 256-core Run
+        // (65536 potential mesh channels, 4-word sharer sets) builds,
+        // explores, and fingerprints correctly at the top of the
+        // supported range.
+        Scenario s;
+        s.name = "wide-mask-16x16";
+        s.note = "cores 0/255 share one word on a 16x16 mesh";
+        s.stresses = {"swmr", "value", "large-mesh"};
+        s.large = true;
+        s.numCores = 256;
+        s.meshCols = 16;
+        s.meshRows = 16;
+        s.accesses = {
+            {0, wordAddr(64, 0, 0), false, 0},
+            {255, wordAddr(64, 0, 0), false, 0},
+            {255, wordAddr(64, 0, 0), true, 0xff},
         };
         lib.push_back(std::move(s));
     }

@@ -54,8 +54,19 @@ struct Scenario
      * fast tier with POR where the reduced space fits).
      */
     bool deep = false;
+    /**
+     * Large-mesh tier: 64+ core geometries that stress the wide
+     * sharer masks and boundary cores rather than schedule breadth.
+     * Sleep-set POR auto-disables above 8 mesh nodes (the channel
+     * bitmap is 64 bits), so these lean on memoization and tight
+     * access programs instead.
+     */
+    bool large = false;
 
     unsigned numCores = 2;
+    /** Mesh geometry; 0 = legacy numCores x 1 row. */
+    unsigned meshCols = 0;
+    unsigned meshRows = 0;
     unsigned regionBytes = 64;
     PredictorKind predictor = PredictorKind::WordOnly;
     unsigned fixedFetchWords = 8;

@@ -128,13 +128,23 @@ feedDir(Hasher &hx, DirController &dir)
                   return std::tie(a.setIndex, a.lruStamp) <
                          std::tie(b.setIndex, b.lruStamp);
               });
+    // Sharer sets: word 0 always (bit-identical to the old single-
+    // uint64_t feed for <=64-core scenarios, so memoization digests
+    // are unchanged), high words only when a core above 63 is set.
+    const auto feedSet = [&hx](const CoreSet &s) {
+        hx.feed(s.raw());
+        if (s.highAny()) {
+            for (unsigned i = 1; i < CoreSet::kWords; ++i)
+                hx.feed(s.word(i));
+        }
+    };
     hx.feed(entries.size());
     for (const auto &e : entries) {
         hx.feed(e.setIndex);
         hx.feed(e.region);
         hx.feed((std::uint64_t(e.filling) << 1) | std::uint64_t(e.dirty));
-        hx.feed(e.readers);
-        hx.feed(e.writers);
+        feedSet(e.readers);
+        feedSet(e.writers);
         for (unsigned w = 0; w < e.wordCount; ++w)
             hx.feed(e.words[w]);
     }

@@ -7,9 +7,11 @@
 #ifndef PROTOZOA_COMMON_CONFIG_HH
 #define PROTOZOA_COMMON_CONFIG_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
+#include "common/core_mask.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -31,6 +33,15 @@ enum class DirectoryKind
 {
     InCacheExact,    ///< precise per-entry reader/writer sets (paper)
     TaglessBloom,    ///< Sec. 6: Bloom-summarized sharers (TL-style)
+};
+
+/** Region -> home-tile (L2 slice) mapping function. */
+enum class SliceHashKind
+{
+    Modulo,          ///< region index mod l2Tiles (paper's interleave)
+    Spread,          ///< multiplicative spread hash (FlexiCAS slicehash
+                     ///< idiom): decorrelates strided footprints from
+                     ///< the tile count
 };
 
 /** Fetch-granularity policy used by the L1 on a miss. */
@@ -55,6 +66,8 @@ struct SystemConfig
     ProtocolKind protocol = ProtocolKind::ProtozoaMW;
     PredictorKind predictor = PredictorKind::PcSpatial;
     DirectoryKind directory = DirectoryKind::InCacheExact;
+    /** Region -> home-tile mapping (Modulo reproduces the paper). */
+    SliceHashKind sliceHash = SliceHashKind::Modulo;
 
     /** TaglessBloom geometry: buckets per hash table, hash tables. */
     unsigned bloomBuckets = 256;
@@ -164,6 +177,60 @@ struct SystemConfig
     /** Words per region. */
     unsigned regionWords() const { return regionBytes / kWordBytes; }
 
+    /**
+     * Home tile (shared-L2 slice / directory bank) of @p region. Every
+     * component that needs a region's home — L1 request routing, the
+     * directory's recall diagnostics, the protocheck inclusion oracle —
+     * goes through this one mapping so the slice hash stays consistent
+     * system-wide. Modulo is the paper's address interleave; Spread
+     * multiplies the region index by a fixed odd constant and takes
+     * high bits (the FlexiCAS slicehash idiom), so footprints strided
+     * by a multiple of l2Tiles no longer pile onto one tile.
+     */
+    unsigned
+    homeTileOf(Addr region) const
+    {
+        const Addr idx = region / regionBytes;
+        if (sliceHash == SliceHashKind::Spread) {
+            std::uint64_t z = idx * 0x9e3779b97f4a7c15ULL;
+            z ^= z >> 32;
+            return static_cast<unsigned>(z % l2Tiles);
+        }
+        return static_cast<unsigned>(idx % l2Tiles);
+    }
+
+    /**
+     * Deadlock-watchdog horizon scaled to the machine geometry.
+     * watchdogCycles bounds are calibrated against the paper's 4x4
+     * 16-core reference machine; the worst-case cost of one
+     * transaction — a probe fan-out across the mesh diameter, a
+     * memory fetch, and per-core response collection — grows with the
+     * mesh, so a flat bound that is sane at 4x4 false-positives at
+     * 16x16. The configured bound scales by the ratio of the two
+     * worst-case transaction costs (exactly watchdogCycles at or
+     * below the reference geometry) and never drops below one full
+     * transaction cost, so a tight bound cannot fire on a lone
+     * memory-latency fetch either.
+     */
+    Cycle
+    watchdogHorizon() const
+    {
+        if (watchdogCycles == 0)
+            return 0;
+        const auto txnCost = [this](unsigned cols, unsigned rows,
+                                    unsigned cores) {
+            const Cycle diameter = (cols - 1) + (rows - 1);
+            return 2 * hopLatency * diameter + memLatency +
+                   Cycle(cores) * l2Latency;
+        };
+        const Cycle ref = txnCost(4, 4, 16);
+        const Cycle mine = txnCost(meshCols, meshRows, numCores);
+        const Cycle scaled =
+            mine <= ref ? watchdogCycles
+                        : (watchdogCycles * mine + ref - 1) / ref;
+        return std::max(scaled, mine);
+    }
+
     /** Abort with a clear message if the configuration is inconsistent. */
     void
     validate() const
@@ -173,13 +240,30 @@ struct SystemConfig
             fatal("regionBytes=%u unsupported", regionBytes);
         if ((regionBytes & (regionBytes - 1)) != 0)
             fatal("regionBytes must be a power of two");
+        if (numCores == 0 || numCores > kMaxCores)
+            fatal("numCores=%u out of range [1, %u]: sharer sets are "
+                  "kMaxCores wide (widen kMaxCores to go bigger)",
+                  numCores, kMaxCores);
+        if (meshCols == 0 || meshRows == 0)
+            fatal("mesh geometry %ux%u needs at least one column and "
+                  "one row", meshCols, meshRows);
         if (numCores != meshCols * meshRows)
             fatal("numCores (%u) must equal meshCols*meshRows (%u)",
                   numCores, meshCols * meshRows);
         if (l2Tiles != numCores)
             fatal("l2Tiles must equal numCores (tiled design)");
+        if (l2BytesPerTile < std::uint64_t(regionBytes) * l2Assoc)
+            fatal("l2BytesPerTile=%llu cannot hold one %u-way set of "
+                  "%u-byte regions",
+                  static_cast<unsigned long long>(l2BytesPerTile),
+                  l2Assoc, regionBytes);
         if (l1BytesPerSet < regionBytes)
             fatal("l1BytesPerSet must hold at least one region");
+        if (directory == DirectoryKind::TaglessBloom &&
+            (bloomBuckets == 0 ||
+             (bloomBuckets & (bloomBuckets - 1)) != 0))
+            fatal("bloomBuckets=%u must be a nonzero power of two",
+                  bloomBuckets);
         if (faultReorderProb < 0.0 || faultReorderProb > 1.0)
             fatal("faultReorderProb must be within [0,1]");
     }

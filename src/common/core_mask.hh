@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Wide core/node masks: the one set type for every per-core bitmask in
+ * the simulator (directory sharer sets, explorer emission targets,
+ * Bloom query results, invariant-sweep writer sets).
+ *
+ * The machine scales past the paper's 16-core 4x4 mesh up to
+ * kMaxCores, so a single uint64_t no longer fits a sharer set. CoreSet
+ * is a fixed array of words with bulk word-parallel algebra (union,
+ * difference, intersection tests run one AND/OR per word, never per
+ * core) and no heap storage, so it can live inside L2 directory
+ * entries and on the probe hot path without allocating.
+ *
+ * Fingerprint compatibility: word 0 of a CoreSet is bit-identical to
+ * the old single-uint64_t representation, so <=64-core protocheck
+ * memoization digests and the bitident_guard stats digest are
+ * unchanged — consumers feed raw() (word 0) always and the high words
+ * only when highAny() (see check/state_fingerprint.cc).
+ */
+
+#ifndef PROTOZOA_COMMON_CORE_MASK_HH
+#define PROTOZOA_COMMON_CORE_MASK_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace protozoa {
+
+/** Hard upper bound on cores (= mesh nodes = L2 tiles) per system. */
+constexpr unsigned kMaxCores = 256;
+
+/** A set of cores, stored as a fixed multi-word bitmask. */
+class CoreSet
+{
+  public:
+    static constexpr unsigned kWords = kMaxCores / 64;
+
+    bool
+    test(CoreId c) const
+    {
+        PROTO_ASSERT(c < kMaxCores, "core %u out of CoreSet range",
+                     unsigned(c));
+        return (w[c >> 6] >> (c & 63)) & 1;
+    }
+
+    void
+    set(CoreId c)
+    {
+        PROTO_ASSERT(c < kMaxCores, "core %u out of CoreSet range",
+                     unsigned(c));
+        w[c >> 6] |= std::uint64_t(1) << (c & 63);
+    }
+
+    void
+    reset(CoreId c)
+    {
+        PROTO_ASSERT(c < kMaxCores, "core %u out of CoreSet range",
+                     unsigned(c));
+        w[c >> 6] &= ~(std::uint64_t(1) << (c & 63));
+    }
+
+    bool
+    none() const
+    {
+        std::uint64_t acc = 0;
+        for (const std::uint64_t v : w)
+            acc |= v;
+        return acc == 0;
+    }
+
+    bool any() const { return !none(); }
+
+    unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (const std::uint64_t v : w)
+            n += static_cast<unsigned>(std::popcount(v));
+        return n;
+    }
+
+    /** True when the set is exactly { @p c }. */
+    bool
+    only(CoreId c) const
+    {
+        PROTO_ASSERT(c < kMaxCores, "core %u out of CoreSet range",
+                     unsigned(c));
+        for (unsigned i = 0; i < kWords; ++i) {
+            const std::uint64_t want =
+                i == (c >> 6) ? std::uint64_t(1) << (c & 63) : 0;
+            if (w[i] != want)
+                return false;
+        }
+        return true;
+    }
+
+    /** Visit members in ascending core order. */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (unsigned i = 0; i < kWords; ++i) {
+            std::uint64_t rest = w[i];
+            while (rest) {
+                const int c = __builtin_ctzll(rest);
+                rest &= rest - 1;
+                fn(static_cast<CoreId>(i * 64 + c));
+            }
+        }
+    }
+
+    /**
+     * Word 0 as a plain mask: bit-identical to the retired
+     * single-uint64_t representation for <=64-core systems
+     * (fingerprints, diagnostics). Wider sets report their high words
+     * via word()/highAny().
+     */
+    std::uint64_t raw() const { return w[0]; }
+
+    /** Word @p i of the mask (cores 64*i .. 64*i+63). */
+    std::uint64_t
+    word(unsigned i) const
+    {
+        PROTO_ASSERT(i < kWords, "CoreSet word index out of range");
+        return w[i];
+    }
+
+    /** Any member above core 63? (fingerprint high-word gate). */
+    bool
+    highAny() const
+    {
+        std::uint64_t acc = 0;
+        for (unsigned i = 1; i < kWords; ++i)
+            acc |= w[i];
+        return acc != 0;
+    }
+
+    static CoreSet
+    fromRaw(std::uint64_t mask)
+    {
+        CoreSet out;
+        out.w[0] = mask;
+        return out;
+    }
+
+    /** The set {0, 1, ..., n-1}; well-defined for every n <= kMaxCores
+     *  (replaces the shift-overflow-prone `(1 << n) - 1` idiom). */
+    static CoreSet
+    firstN(unsigned n)
+    {
+        PROTO_ASSERT(n <= kMaxCores, "firstN(%u) exceeds kMaxCores", n);
+        CoreSet out;
+        for (unsigned i = 0; i < kWords; ++i) {
+            if (n >= (i + 1) * 64)
+                out.w[i] = ~std::uint64_t(0);
+            else if (n > i * 64)
+                out.w[i] =
+                    (std::uint64_t(1) << (n - i * 64)) - 1;
+        }
+        return out;
+    }
+
+    /** Set difference: members of this set not in @p o. */
+    CoreSet
+    minus(const CoreSet &o) const
+    {
+        CoreSet out;
+        for (unsigned i = 0; i < kWords; ++i)
+            out.w[i] = w[i] & ~o.w[i];
+        return out;
+    }
+
+    /** Non-empty intersection test, one AND per word. */
+    bool
+    intersects(const CoreSet &o) const
+    {
+        std::uint64_t acc = 0;
+        for (unsigned i = 0; i < kWords; ++i)
+            acc |= w[i] & o.w[i];
+        return acc != 0;
+    }
+
+    CoreSet &
+    operator|=(const CoreSet &o)
+    {
+        for (unsigned i = 0; i < kWords; ++i)
+            w[i] |= o.w[i];
+        return *this;
+    }
+
+    friend CoreSet
+    operator|(CoreSet a, const CoreSet &b)
+    {
+        a |= b;
+        return a;
+    }
+
+    bool operator==(const CoreSet &) const = default;
+
+    /**
+     * Minimal hex image for diagnostics: identical to printing raw()
+     * in hex for <=64-core sets; wider sets prepend their high words
+     * zero-padded. Allocates — cold paths only.
+     */
+    std::string
+    toHex() const
+    {
+        unsigned top = 0;
+        for (unsigned i = 1; i < kWords; ++i) {
+            if (w[i] != 0)
+                top = i;
+        }
+        char buf[kWords * 16 + 1];
+        int len = std::snprintf(buf, sizeof(buf), "%llx",
+                                static_cast<unsigned long long>(w[top]));
+        for (unsigned i = top; i-- > 0;) {
+            len += std::snprintf(buf + len, sizeof(buf) - len,
+                                 "%016llx",
+                                 static_cast<unsigned long long>(w[i]));
+        }
+        return std::string(buf, static_cast<std::size_t>(len));
+    }
+
+  private:
+    std::array<std::uint64_t, kWords> w{};
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_CORE_MASK_HH

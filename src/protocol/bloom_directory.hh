@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/core_mask.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -41,6 +42,8 @@ class CountingBloomSharers
         PROTO_ASSERT(buckets > 0 && (buckets & (buckets - 1)) == 0,
                      "bloom buckets must be a power of two");
         PROTO_ASSERT(hashes >= 1 && hashes <= 4, "1..4 hash tables");
+        PROTO_ASSERT(cores <= kMaxCores, "bloom tracks at most "
+                     "kMaxCores cores");
     }
 
     /** Record that @p core now holds (a block of) @p region. */
@@ -74,14 +77,14 @@ class CountingBloomSharers
         return true;
     }
 
-    /** Bitmask of cores that may hold @p region. */
-    std::uint64_t
+    /** Set of cores that may hold @p region. */
+    CoreSet
     query(Addr region) const
     {
-        std::uint64_t out = 0;
+        CoreSet out;
         for (CoreId c = 0; c < numCores; ++c) {
             if (mayHold(region, c))
-                out |= std::uint64_t(1) << c;
+                out.set(c);
         }
         return out;
     }

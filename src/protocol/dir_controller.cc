@@ -9,12 +9,6 @@
 
 namespace protozoa {
 
-unsigned
-CoreSet::count() const
-{
-    return static_cast<unsigned>(std::popcount(bits));
-}
-
 DirController::DirController(TileId id, const SystemConfig &config,
                              EventQueue &eq, Router &rt,
                              WordStore &mem,
@@ -92,7 +86,7 @@ DirController::probeWriters(const L2Entry &entry) const
 {
     if (!bloomWriters)
         return entry.writers;
-    return CoreSet::fromRaw(bloomWriters->query(entry.region));
+    return bloomWriters->query(entry.region);
 }
 
 CoreSet
@@ -101,8 +95,7 @@ DirController::probeReaders(const L2Entry &entry) const
     if (!bloomReaders)
         return entry.readers;
     // A Bloom-writer core receives FWD_GETX already; do not also INV.
-    return CoreSet::fromRaw(bloomReaders->query(entry.region))
-        .minus(probeWriters(entry));
+    return bloomReaders->query(entry.region).minus(probeWriters(entry));
 }
 
 DirState
@@ -346,7 +339,7 @@ DirController::beginRecall(Addr victim, Addr parent)
     unsigned probes = 0;
     const Cycle when = occupy(cfg.l2Latency);
     CoreSet holders = entry->readers;
-    entry->writers.forEach([&](CoreId c) { holders.set(c); });
+    holders |= entry->writers;
     holders.forEach([&](CoreId c) {
         CoherenceMsg inv;
         inv.type = MsgType::INV;
@@ -527,11 +520,11 @@ DirController::updateSetsFromResponse(L2Entry &entry,
                                       const CoherenceMsg &msg)
 {
     PROTO_DTRACE("dir%u sets: region=%llx sender=%u stillO=%d stillS=%d "
-                 "(was w=%llx r=%llx)",
+                 "(was w=%s r=%s)",
                  tileId, static_cast<unsigned long long>(entry.region),
                  msg.sender, msg.stillOwner, msg.stillSharer,
-                 static_cast<unsigned long long>(entry.writers.raw()),
-                 static_cast<unsigned long long>(entry.readers.raw()));
+                 entry.writers.toHex().c_str(),
+                 entry.readers.toHex().c_str());
     if (msg.stillOwner) {
         setWriter(entry, msg.sender);
         clearReader(entry, msg.sender);
@@ -603,13 +596,11 @@ DirController::respond(Addr region)
         if (cfg.protocol != ProtocolKind::ProtozoaMW) {
             PROTO_ASSERT(entry->writers.only(req),
                          "single-writer protocol with multiple owners: "
-                         "region=%llx writers=%llx readers=%llx req=%u "
+                         "region=%llx writers=%s readers=%s req=%u "
                          "upgrade=%d range=%s",
                          static_cast<unsigned long long>(region),
-                         static_cast<unsigned long long>(
-                             entry->writers.raw()),
-                         static_cast<unsigned long long>(
-                             entry->readers.raw()),
+                         entry->writers.toHex().c_str(),
+                         entry->readers.toHex().c_str(),
                          req, txn.upgrade, txn.reqRange.toString().c_str());
         }
     } else {
@@ -730,8 +721,8 @@ DirController::describeRegion(Addr region)
         os << "entry " << dirStateName(absState(e))
            << (e->filling ? " (filling)" : "")
            << (e->dirty ? " dirty" : " clean")
-           << " readers=0x" << std::hex << e->readers.raw()
-           << " writers=0x" << e->writers.raw() << std::dec;
+           << " readers=0x" << e->readers.toHex()
+           << " writers=0x" << e->writers.toHex();
     } else {
         os << "no entry";
     }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/core_mask.hh"
 #include "common/event_queue.hh"
 #include "common/flat_table.hh"
 #include "common/rng.hh"
@@ -47,52 +48,6 @@
 #include "protocol/router.hh"
 
 namespace protozoa {
-
-/** A set of cores, stored as a bitmask (up to 64 cores). */
-class CoreSet
-{
-  public:
-    bool test(CoreId c) const { return bits & (std::uint64_t(1) << c); }
-    void set(CoreId c) { bits |= std::uint64_t(1) << c; }
-    void reset(CoreId c) { bits &= ~(std::uint64_t(1) << c); }
-    bool none() const { return bits == 0; }
-    bool any() const { return bits != 0; }
-    unsigned count() const;
-    /** True when the set is exactly { @p c }. */
-    bool only(CoreId c) const { return bits == (std::uint64_t(1) << c); }
-
-    template <typename F>
-    void
-    forEach(F &&fn) const
-    {
-        std::uint64_t rest = bits;
-        while (rest) {
-            const int c = __builtin_ctzll(rest);
-            rest &= rest - 1;
-            fn(static_cast<CoreId>(c));
-        }
-    }
-
-    std::uint64_t raw() const { return bits; }
-
-    static CoreSet
-    fromRaw(std::uint64_t mask)
-    {
-        CoreSet out;
-        out.bits = mask;
-        return out;
-    }
-
-    /** Set difference: members of this set not in @p o. */
-    CoreSet
-    minus(const CoreSet &o) const
-    {
-        return fromRaw(bits & ~o.bits);
-    }
-
-  private:
-    std::uint64_t bits = 0;
-};
 
 class DirController
 {
@@ -148,8 +103,8 @@ class DirController
         Addr region = 0;
         bool filling = false;
         bool dirty = false;
-        std::uint64_t readers = 0;
-        std::uint64_t writers = 0;
+        CoreSet readers;
+        CoreSet writers;
         std::uint64_t lruStamp = 0;
         unsigned setIndex = 0;
         const std::uint64_t *words = nullptr;
@@ -166,7 +121,7 @@ class DirController
                 if (!e.valid)
                     continue;
                 fn(EntrySnap{e.region, e.filling, e.dirty,
-                             e.readers.raw(), e.writers.raw(),
+                             e.readers, e.writers,
                              e.lruStamp, s, e.words.data(),
                              e.wordCount});
             }

@@ -48,8 +48,7 @@ L1Controller::occupy(Cycle latency)
 unsigned
 L1Controller::homeTile(Addr region) const
 {
-    return static_cast<unsigned>(
-        (region / cfg.regionBytes) % cfg.l2Tiles);
+    return cfg.homeTileOf(region);
 }
 
 void

@@ -37,14 +37,40 @@ CampaignSpec::smallSystem()
     return spec;
 }
 
+CampaignSpec
+CampaignSpec::largeMesh()
+{
+    CampaignSpec spec;
+    spec.numCores = 64;
+    spec.meshCols = 8;
+    spec.meshRows = 8;
+    spec.seeds.clear();
+    for (std::uint64_t s = 1; s <= 20; ++s)
+        spec.seeds.push_back(s);
+    // Quarter the per-tile L2 so 4x the tiles keeps the same
+    // aggregate conflict pressure (two 8-way sets per tile), and
+    // grow the hot pool 4x so per-region sharer counts match the
+    // 16-core grid (one core per hot region on average).
+    spec.l2BytesPerTile = 1024;
+    spec.hotRegions = 64;
+    // Violations gate this grid; matrix completeness stays with the
+    // 16/4-core grids. 64 cores dilute per-(core, region) density
+    // until the multi-block-writer rows ((WR, Put) -> WR) need far
+    // more than a CI budget of accesses to appear.
+    spec.requireFullCoverage = false;
+    return spec;
+}
+
 bool
 CampaignResult::passed() const
 {
     if (valueViolations != 0 || invariantViolations != 0)
         return false;
-    for (const auto &cov : coverage) {
-        if (!cov.complete())
-            return false;
+    if (requireFullCoverage) {
+        for (const auto &cov : coverage) {
+            if (!cov.complete())
+                return false;
+        }
     }
     return true;
 }
@@ -98,6 +124,8 @@ runCampaign(const CampaignSpec &spec)
                         rp.meshCols = spec.meshCols;
                         rp.meshRows = spec.meshRows;
                         rp.accessesPerCore = spec.accessesPerCore;
+                        rp.l2BytesPerTile = spec.l2BytesPerTile;
+                        rp.regions = spec.hotRegions;
                         rp.checkPeriod = spec.checkPeriod;
                         rp.faultInjection = prof.faultInjection;
                         rp.faultJitterMax = prof.jitterMax;
@@ -116,6 +144,7 @@ runCampaign(const CampaignSpec &spec)
 
     CampaignResult res;
     res.jobs = jobs.size();
+    res.requireFullCoverage = spec.requireFullCoverage;
     res.coverage.reserve(spec.protocols.size());
     for (const auto proto : spec.protocols)
         res.coverage.emplace_back(proto);

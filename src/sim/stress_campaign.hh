@@ -83,6 +83,21 @@ struct CampaignSpec
     unsigned numCores = 16;
     unsigned meshCols = 4;
     unsigned meshRows = 4;
+    /**
+     * Shared-L2 bytes per tile. The tester default (4 KB) keeps
+     * inclusion recalls frequent at 16 tiles; wider meshes shrink
+     * this further so the per-tile conflict pressure (and thus the
+     * recall rate) does not dilute with the tile count.
+     */
+    std::uint64_t l2BytesPerTile = 4096;
+    /**
+     * Hot-pool size in regions (the tester default). Scaled with the
+     * core count for wide meshes: 64 cores on a 16-region pool bury
+     * every region under dozens of sharers, which starves the
+     * single-writer directory states (WR, last-writer evictions)
+     * that the coverage matrix requires.
+     */
+    unsigned hotRegions = 16;
     /** Accesses per core per job. */
     std::uint64_t accessesPerCore = 2000;
     /** Invariant-scan period forwarded to RandomTester. */
@@ -97,6 +112,15 @@ struct CampaignSpec
     unsigned workers = 0;
     /** Serialized per-job progress lines on stderr. */
     bool progress = false;
+    /**
+     * Gate passed() on full transition-matrix coverage. The default
+     * and small grids own that gate; the large-mesh grid turns it
+     * off, because 64 cores dilute the per-(core, region) access
+     * density until multi-block-writer transitions like
+     * (WR, Put) -> WR stop occurring within any CI-sized budget (see
+     * EXPERIMENTS.md). Unexplained gaps are still reported.
+     */
+    bool requireFullCoverage = true;
 
     /**
      * Hostile 4-core 2x2 variant: each job costs ~1/10 of a 16-core
@@ -105,6 +129,17 @@ struct CampaignSpec
      * access, so per-seed race density does not drop with system size.
      */
     static CampaignSpec smallSystem();
+
+    /**
+     * 64-core 8x8 variant: each job costs ~4x a 16-core one, so the
+     * grid keeps the full profile x pattern matrix but trims the seed
+     * list. Large meshes trade per-region collision density for
+     * fan-out width — recalls and invalidation storms touch up to 64
+     * sharers and the sharer masks exercise the full first word — so
+     * this grid hunts a different class of bug (mask-boundary,
+     * fan-out-collection) than the hostile small grid.
+     */
+    static CampaignSpec largeMesh();
 };
 
 /** One failing grid point, with everything needed to reproduce it. */
@@ -128,10 +163,13 @@ struct CampaignResult
     std::vector<CampaignFailure> failures;
     /** One merged coverage matrix per CampaignSpec protocol, in order. */
     std::vector<ConformanceCoverage> coverage;
+    /** Copied from CampaignSpec::requireFullCoverage. */
+    bool requireFullCoverage = true;
 
     /**
-     * No value or SWMR violations, and every documented transition of
-     * every protocol was hit or carries an explanatory note.
+     * No value or SWMR violations, and — when the spec requires full
+     * coverage — every documented transition of every protocol was
+     * hit or carries an explanatory note.
      */
     bool passed() const;
 
