@@ -1,0 +1,191 @@
+/**
+ * @file
+ * microbench_parallel: wall-clock scaling of the sharded parallel
+ * simulation engine against its own 1-thread configuration.
+ *
+ * Measures the 16-core (4x4) and 64-core (8x8) fig_scaling machines
+ * (aggregate L2 fixed at 32 MB) running the apache profile under
+ * Protozoa-MW, once on the sequential oracle kernel (simThreads=0,
+ * context) and once per worker-thread point {1, 2, 4, 8}. Speedup at
+ * N threads is wall(1 thread) / wall(N threads) *within the same
+ * binary on the same host* — the same machine-independent in-run
+ * ratio idiom as the MW/MESI throughput gate — so it is meaningful on
+ * any runner with at least N hardware threads. The digest-identity
+ * guarantee (parallel_determinism_test) means every point simulates
+ * the exact same event history; only the wall clock varies.
+ *
+ *   microbench_parallel                        # table + JSON
+ *   microbench_parallel --json out.json
+ *   microbench_parallel --gate-threads 4 --gate-speedup 1.8
+ *       # exit 1 unless the 64-core config reaches the given speedup
+ *   PROTOZOA_SCALE=0.05 microbench_parallel    # CI smoke
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace protozoa;
+using namespace protozoa::bench;
+
+namespace {
+
+struct MeshPoint
+{
+    unsigned cores;
+    unsigned cols;
+    unsigned rows;
+};
+
+const MeshPoint kPoints[] = {{16, 4, 4}, {64, 8, 8}};
+const unsigned kThreadPoints[] = {0, 1, 2, 4, 8};
+const char *const kBench = "apache";
+
+/** Paper machine resized to @p pt with the 32 MB aggregate L2. */
+SystemConfig
+configFor(const MeshPoint &pt)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+    cfg.numCores = pt.cores;
+    cfg.l2Tiles = pt.cores;
+    cfg.meshCols = pt.cols;
+    cfg.meshRows = pt.rows;
+    cfg.l2BytesPerTile = (2ull * 1024 * 1024 * 16) / pt.cores;
+    return cfg;
+}
+
+struct Point
+{
+    unsigned cores = 0;
+    unsigned threads = 0; // 0 = sequential oracle kernel
+    double wall = 0.0;
+    std::uint64_t events = 0;
+    Cycle cycles = 0;
+};
+
+void
+writeJson(const std::string &path, double scale,
+          const std::vector<Point> &points)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"scale\": %.3f,\n  \"bench\": \"%s\",\n"
+                 "  \"hostThreads\": %u,\n  \"points\": [\n",
+                 scale, kBench, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        double base = 0.0;
+        for (const Point &q : points) {
+            if (q.cores == p.cores && q.threads == 1)
+                base = q.wall;
+        }
+        std::fprintf(
+            f,
+            "    {\"cores\": %u, \"simThreads\": %u, "
+            "\"wallSeconds\": %.4f, \"events\": %llu, "
+            "\"eventsPerSecond\": %.0f, \"speedupVs1Thread\": %.3f}%s\n",
+            p.cores, p.threads, p.wall,
+            static_cast<unsigned long long>(p.events),
+            p.wall > 0 ? static_cast<double>(p.events) / p.wall : 0.0,
+            p.threads >= 1 && p.wall > 0 ? base / p.wall : 0.0,
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = "BENCH_parallel.json";
+    unsigned gateThreads = 0;
+    double gateSpeedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--gate-threads") == 0 &&
+                 i + 1 < argc)
+            gateThreads = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--gate-speedup") == 0 &&
+                 i + 1 < argc)
+            gateSpeedup = std::atof(argv[++i]);
+    }
+    const double scale = envScale();
+    std::printf("microbench_parallel: sharded-engine scaling, %s, "
+                "scale=%.2f, host threads=%u\n\n",
+                kBench, scale, std::thread::hardware_concurrency());
+
+    std::vector<Point> points;
+    for (const MeshPoint &pt : kPoints) {
+        for (unsigned threads : kThreadPoints) {
+            SystemConfig cfg = configFor(pt);
+            cfg.simThreads = threads;
+            std::fprintf(stderr,
+                         "  running %3u cores, simThreads=%u...\n",
+                         pt.cores, threads);
+            const RunStats stats = runBenchmark(cfg, kBench, scale);
+            Point p;
+            p.cores = pt.cores;
+            p.threads = threads;
+            p.wall = stats.kernel.wallSeconds;
+            p.events = stats.kernel.eventsExecuted;
+            p.cycles = stats.cycles;
+            points.push_back(p);
+        }
+    }
+
+    double gated = 0.0;
+    for (const MeshPoint &pt : kPoints) {
+        std::printf("%u cores (%ux%u)\n", pt.cores, pt.cols, pt.rows);
+        TextTable table({"simThreads", "wall(s)", "Mevents/s",
+                         "speedup/1T"});
+        double base = 0.0;
+        for (const Point &p : points) {
+            if (p.cores == pt.cores && p.threads == 1)
+                base = p.wall;
+        }
+        for (const Point &p : points) {
+            if (p.cores != pt.cores)
+                continue;
+            const double speedup =
+                p.threads >= 1 && p.wall > 0 ? base / p.wall : 0.0;
+            table.addRow(
+                {p.threads == 0 ? "seq" : std::to_string(p.threads),
+                 TextTable::fmt(p.wall, 2),
+                 TextTable::fmt(p.events / p.wall / 1e6, 2),
+                 p.threads == 0 ? "-" : TextTable::fmt(speedup, 2)});
+            if (pt.cores == 64 && p.threads == gateThreads)
+                gated = speedup;
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    writeJson(jsonPath, scale, points);
+    std::printf("wrote %s\n", jsonPath.c_str());
+
+    if (gateThreads > 0) {
+        std::printf("gate: 64-core speedup at %u threads = %.2fx "
+                    "(need >= %.2fx)\n",
+                    gateThreads, gated, gateSpeedup);
+        if (gated < gateSpeedup) {
+            std::fprintf(stderr,
+                         "FAIL: parallel engine speedup regressed\n");
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -51,6 +51,59 @@ struct ChannelInfo
 };
 
 /**
+ * Multi-word (src,dst)-channel bitmask for sleep sets and memo masks —
+ * CoreSet's widening applied to the POR plane. A mesh has nodes^2
+ * channels, which stopped fitting one uint64 past 8 nodes and used to
+ * auto-disable POR on the large-tier 8x8 scenarios; masks are now
+ * runtime-sized word arrays (64 words for an 8x8 mesh) with the same
+ * bulk word-parallel algebra. Search bookkeeping only — never on the
+ * simulator hot path — so vector storage is fine.
+ */
+class ChanMask
+{
+  public:
+    ChanMask() = default;
+    explicit ChanMask(unsigned bits) : w((bits + 63) / 64, 0) {}
+
+    bool
+    test(unsigned b) const
+    {
+        return (w[b >> 6] >> (b & 63)) & 1;
+    }
+
+    void set(unsigned b) { w[b >> 6] |= std::uint64_t(1) << (b & 63); }
+
+    /** this ⊆ o, one AND-NOT per word. */
+    bool
+    isSubsetOf(const ChanMask &o) const
+    {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < w.size(); ++i)
+            acc |= w[i] & ~o.w[i];
+        return acc == 0;
+    }
+
+    ChanMask &
+    operator|=(const ChanMask &o)
+    {
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] |= o.w[i];
+        return *this;
+    }
+
+    ChanMask &
+    operator&=(const ChanMask &o)
+    {
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] &= o.w[i];
+        return *this;
+    }
+
+  private:
+    std::vector<std::uint64_t> w;
+};
+
+/**
  * Two channel heads commute when delivering them in either order
  * reaches the same quiescent state. They must target different
  * controllers (an L1 and its co-located directory tile are distinct
@@ -503,7 +556,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
     // the stored mask: prior visits explored every enabled channel
     // outside the stored mask, which includes everything this visit
     // would explore.
-    std::unordered_map<std::uint64_t, std::uint64_t> memo;
+    std::unordered_map<std::uint64_t, ChanMask> memo;
     std::unordered_map<std::uint64_t, bool> seen; // fingerprint set
 
     /** One expanded quiescent point on the DFS stack. */
@@ -515,9 +568,9 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         /** Position in `order` currently being explored. */
         std::size_t pos = 0;
         /** Sleep mask (channel-id bits) this state was entered with. */
-        std::uint64_t sleepIn = 0;
+        ChanMask sleepIn;
         /** Channel-id bits of already fully explored siblings. */
-        std::uint64_t explored = 0;
+        ChanMask explored;
     };
     std::vector<Level> stack;
     std::vector<unsigned> path;
@@ -525,35 +578,37 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
 
     auto run = std::make_unique<Run>(s, proto);
     const unsigned nodes = run->nodes();
-    // Sleep masks pack one bit per (src,dst) channel into a uint64, so
-    // POR is only available up to 8 mesh nodes. Larger scenarios fall
-    // back to plain (memoized) search — and must never even compute a
-    // channel bit, whose shift would overflow.
-    const bool por = lim.por && nodes * nodes <= 64;
-    const auto chanBit = [nodes](const ChannelInfo &c) {
-        return std::uint64_t(1) << (c.src * nodes + c.dst);
+    // One sleep bit per (src,dst) channel: nodes^2 bits, multi-word
+    // (ChanMask), so POR stays on for every supported geometry —
+    // 64-node 8x8 scenarios included, where the old single-uint64
+    // bitmap forced full enumeration.
+    const unsigned chanBits = nodes * nodes;
+    const bool por = lim.por;
+    const auto chanIndex = [nodes](const ChannelInfo &c) {
+        return c.src * nodes + c.dst;
     };
     // Sleep set of the next explored child: every earlier-explored or
     // inherited-asleep channel that commutes with the chosen delivery
     // stays asleep below it; dependent channels wake up.
     const auto childSleep = [&](const Level &lv, unsigned k) {
+        ChanMask out(chanBits);
         if (!por)
-            return std::uint64_t(0);
-        std::uint64_t out = 0;
-        const std::uint64_t candidates = lv.sleepIn | lv.explored;
+            return out;
+        ChanMask candidates = lv.sleepIn;
+        candidates |= lv.explored;
         const ChannelInfo &chosen = lv.frontier[k];
         for (const ChannelInfo &c : lv.frontier) {
-            if (&c == &chosen || (candidates & chanBit(c)) == 0)
+            if (&c == &chosen || !candidates.test(chanIndex(c)))
                 continue;
             if (independent(c, chosen)) {
-                out |= chanBit(c);
+                out.set(chanIndex(c));
                 ++res.porCommutations;
             }
         }
         return out;
     };
 
-    std::uint64_t sleep = 0; // mask entering the current state
+    ChanMask sleep(chanBits); // mask entering the current state
 
     for (;;) {
         const std::vector<ChannelInfo> &frontier = run->frontier();
@@ -572,7 +627,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         std::vector<unsigned> order;
         if (!leaf) {
             for (unsigned k = 0; k < width; ++k) {
-                if (por && (sleep & chanBit(frontier[k])) != 0) {
+                if (por && sleep.test(chanIndex(frontier[k]))) {
                     ++res.porPruned;
                     continue;
                 }
@@ -593,7 +648,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         if (!leaf && memo_ok) {
             auto [it, fresh] = memo.try_emplace(fp, sleep);
             if (!fresh) {
-                if ((it->second & ~sleep) == 0) {
+                if (it->second.isSubsetOf(sleep)) {
                     ++res.memoHits;
                     leaf = true;
                 } else {
@@ -612,6 +667,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
             lv.frontier = frontier;
             lv.order = std::move(order);
             lv.sleepIn = sleep;
+            lv.explored = ChanMask(chanBits);
             const unsigned k = lv.order[0];
             sleep = childSleep(lv, k);
             path.push_back(k);
@@ -631,7 +687,7 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
             }
             Level &lv = stack.back();
             if (por)
-                lv.explored |= chanBit(lv.frontier[lv.order[lv.pos]]);
+                lv.explored.set(chanIndex(lv.frontier[lv.order[lv.pos]]));
             ++lv.pos;
             if (lv.pos < lv.order.size())
                 break;

@@ -437,9 +437,9 @@ buildLibrary()
         // cores 0 and 63 (bit 0 and bit 63 of sharer-mask word 0)
         // race S->M upgrades on one word. Same race as
         // "upgrade-race", but the 64-node geometry drives every
-        // sharer set to the top of the first mask word and disables
-        // sleep-set POR (64 nodes > the 8-node channel-bitmap limit),
-        // so this also regression-locks the POR auto-off path.
+        // sharer set to the top of the first mask word and exercises
+        // the multi-word sleep-set channel bitmap (4096 channel bits
+        // on 64 nodes), so this also regression-locks POR at scale.
         Scenario s;
         s.name = "upgrade-race-8x8";
         s.note = "corner cores 0/63 race upgrades on an 8x8 mesh";

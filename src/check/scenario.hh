@@ -57,9 +57,9 @@ struct Scenario
     /**
      * Large-mesh tier: 64+ core geometries that stress the wide
      * sharer masks and boundary cores rather than schedule breadth.
-     * Sleep-set POR auto-disables above 8 mesh nodes (the channel
-     * bitmap is 64 bits), so these lean on memoization and tight
-     * access programs instead.
+     * Sleep-set POR stays active here — the channel bitmap is a
+     * multi-word ChanMask (one bit per (src,dst) channel), widened
+     * past 8 nodes the same way CoreSet widened sharer masks.
      */
     bool large = false;
 

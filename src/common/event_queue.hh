@@ -189,36 +189,50 @@ class EventQueue
     /** Events currently queued. */
     std::uint64_t size() const { return pending; }
 
+    /**
+     * Earliest pending cycle across both scheduler levels.
+     * @return false when the queue is dry.
+     */
+    bool
+    nextEventCycle(Cycle &out) const
+    {
+        if (pending == 0)
+            return false;
+        Cycle c;
+        if (!nextRingCycle(c) || (!spill.empty() && spill.top().when <= c))
+            c = spill.top().when;
+        out = c;
+        return true;
+    }
+
+    /**
+     * Run queued events with cycle strictly below @p limit, advancing
+     * local time as they execute. Events scheduled at or past the limit
+     * stay queued; this is the shard-horizon primitive of the parallel
+     * engine: a shard free-runs inside its window and stops exactly at
+     * the conservative lookahead boundary.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    runUntil(Cycle limit)
+    {
+        std::uint64_t n = 0;
+        Cycle c;
+        while (nextEventCycle(c) && c < limit) {
+            dispatch(c);
+            ++n;
+        }
+        return n;
+    }
+
     /** Pop and run the next event. @return false when the queue is dry. */
     bool
     step()
     {
-        if (pending == 0)
-            return false;
-
         Cycle c;
-        if (!nextRingCycle(c) || (!spill.empty() && spill.top().when <= c))
-            c = spill.top().when;
-        if (!spill.empty() && spill.top().when == c)
-            migrateSpill(c);
-
-        const unsigned b = static_cast<unsigned>(c) & kBucketMask;
-        const std::uint32_t n = bucketHead[b];
-        bucketHead[b] = pool[n].next;
-        if (bucketHead[b] == kNil) {
-            bucketTail[b] = kNil;
-            occupancy[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
-        }
-
-        // Move the callback out before running it: the callback may
-        // schedule new events, which can grow the pool and invalidate
-        // references into it.
-        Callback cb = std::move(pool[n].cb);
-        releaseNode(n);
-        --pending;
-        ++kstats.eventsExecuted;
-        curCycle = c;
-        cb();
+        if (!nextEventCycle(c))
+            return false;
+        dispatch(c);
         return true;
     }
 
@@ -235,6 +249,26 @@ class EventQueue
                 panic("event queue still busy at cycle %llu "
                       "(deadlock or livelock?)",
                       static_cast<unsigned long long>(curCycle));
+        }
+    }
+
+    /**
+     * Pre-size the node pool and spill heap for @p events concurrent
+     * events, so reaching that depth never allocates mid-run. The
+     * sharded engine warms every shard queue this way: per-shard
+     * high-water marks are reached later than a global queue's (an
+     * idle shard's clock lags, so late traffic can first-touch pool
+     * and spill capacity deep into a run).
+     */
+    void
+    reserve(std::size_t events)
+    {
+        pool.reserve(events);
+        if (spill.empty()) {
+            std::vector<SpillRef> backing;
+            backing.reserve(events);
+            spill = decltype(spill)(std::greater<>(),
+                                    std::move(backing));
         }
     }
 
@@ -275,6 +309,32 @@ class EventQueue
             return when != o.when ? when > o.when : seq > o.seq;
         }
     };
+
+    /** Pop and run the already-located earliest event at cycle @p c. */
+    void
+    dispatch(Cycle c)
+    {
+        if (!spill.empty() && spill.top().when == c)
+            migrateSpill(c);
+
+        const unsigned b = static_cast<unsigned>(c) & kBucketMask;
+        const std::uint32_t n = bucketHead[b];
+        bucketHead[b] = pool[n].next;
+        if (bucketHead[b] == kNil) {
+            bucketTail[b] = kNil;
+            occupancy[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+        }
+
+        // Move the callback out before running it: the callback may
+        // schedule new events, which can grow the pool and invalidate
+        // references into it.
+        Callback cb = std::move(pool[n].cb);
+        releaseNode(n);
+        --pending;
+        ++kstats.eventsExecuted;
+        curCycle = c;
+        cb();
+    }
 
     void
     insert(Cycle when, Callback cb)

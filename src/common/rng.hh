@@ -79,6 +79,35 @@ class Rng
     std::uint64_t state[4];
 };
 
+/** splitmix64 finalizer: the avalanche stage used throughout for
+ *  deterministic address/seed hashing. */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Stateless counter-based draw: hash an explicit (seed, stream,
+ * counter) triple into a uniform 64-bit value.
+ *
+ * Unlike a sequential generator, the value of draw k on stream s does
+ * not depend on how draws are interleaved across streams — only on
+ * (seed, s, k). The mesh fault injector keys streams by (src,dst) pair
+ * and counts messages per pair, so a fault schedule is a pure function
+ * of the seed and each pair's traffic, identical under the sequential
+ * kernel and any sharded/threaded engine.
+ */
+inline std::uint64_t
+counterHash64(std::uint64_t seed, std::uint64_t stream,
+              std::uint64_t counter)
+{
+    return mix64(seed ^ mix64(stream ^ mix64(counter)));
+}
+
 } // namespace protozoa
 
 #endif // PROTOZOA_COMMON_RNG_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Busy-wait synchronization primitives for the sharded parallel engine.
+ *
+ * The engine's windows are microseconds long, so both primitives are
+ * built for short critical sections and short waits: a test-and-set
+ * spinlock (guards the striped value stores, whose critical section is
+ * one page probe) and a centralized sense-reversing barrier (the
+ * per-window rendezvous). Both spin with a CPU relax hint and fall back
+ * to yielding after a bounded number of spins, so oversubscribed runs
+ * (more shard threads than cores, e.g. the 8-thread benchmark point on
+ * a 4-core host) degrade gracefully instead of livelocking the
+ * scheduler.
+ *
+ * Memory ordering: SpinBarrier::arriveAndWait() establishes
+ * happens-before from every write sequenced before any party's arrival
+ * to every read after any party's return (acquire/release through the
+ * arrival counter's RMW chain and the generation word). The engine
+ * leans on this: cross-shard inbox vectors are plain unsynchronized
+ * containers, written only in the phase before a barrier and read only
+ * in the phase after it.
+ */
+
+#ifndef PROTOZOA_COMMON_SPIN_SYNC_HH
+#define PROTOZOA_COMMON_SPIN_SYNC_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace protozoa {
+
+/** Pause/yield hint inside a busy-wait loop. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/** Minimal test-and-set spinlock (BasicLockable). */
+class SpinLock
+{
+  public:
+    void
+    lock()
+    {
+        unsigned spins = 0;
+        while (flag.test_and_set(std::memory_order_acquire)) {
+            if (++spins >= kSpinsBeforeYield) {
+                spins = 0;
+                std::this_thread::yield();
+            } else {
+                cpuRelax();
+            }
+        }
+    }
+
+    void unlock() { flag.clear(std::memory_order_release); }
+
+  private:
+    static constexpr unsigned kSpinsBeforeYield = 1u << 12;
+
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+};
+
+/**
+ * Centralized generation-counting barrier for a fixed party count.
+ * Reusable: each arriveAndWait() call is one rendezvous.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties_) : parties(parties_) {}
+
+    void
+    arriveAndWait()
+    {
+        if (parties <= 1)
+            return;
+        const std::uint64_t gen =
+            generation.load(std::memory_order_acquire);
+        if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties) {
+            arrived.store(0, std::memory_order_relaxed);
+            generation.store(gen + 1, std::memory_order_release);
+            return;
+        }
+        unsigned spins = 0;
+        while (generation.load(std::memory_order_acquire) == gen) {
+            if (++spins >= kSpinsBeforeYield) {
+                spins = 0;
+                std::this_thread::yield();
+            } else {
+                cpuRelax();
+            }
+        }
+    }
+
+  private:
+    static constexpr unsigned kSpinsBeforeYield = 1u << 12;
+
+    unsigned parties;
+    std::atomic<unsigned> arrived{0};
+    std::atomic<std::uint64_t> generation{0};
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_SPIN_SYNC_HH

@@ -16,7 +16,13 @@
  * guarantees messages on *other* (src,dst) pairs overtake it. The
  * per-pair FIFO clamp is applied after the perturbation, so the ordering
  * invariant the protocol relies on is never violated — only cross-pair
- * interleavings change. Runs are deterministic for a given seed.
+ * interleavings change. Jitter draws are counter-based: sample k on
+ * channel (src,dst) is a pure hash of (seed, channel, k), never a pull
+ * from a shared sequential stream, so the fault schedule each channel
+ * sees depends only on the seed and that channel's traffic — not on how
+ * sends interleave across channels, and not on which engine (sequential
+ * or sharded parallel) is driving the mesh. Runs are deterministic for
+ * a given seed.
  */
 
 #ifndef PROTOZOA_NOC_MESH_HH
@@ -48,9 +54,11 @@ class Mesh
           faultInjection(cfg.faultInjection),
           jitterMax(cfg.faultJitterMax),
           reorderProb(cfg.faultReorderProb),
-          rng(cfg.seed ^ 0x6d657368ULL),  // "mesh"
+          faultSeed(cfg.seed ^ 0x6d657368ULL),  // "mesh"
           lastArrival(static_cast<std::size_t>(cols) * rows * cols * rows, 0)
     {
+        if (faultInjection)
+            pairSeq.assign(lastArrival.size(), 0);
         if (cfg.scheduleOracle)
             enableScheduleOracle();
     }
@@ -83,23 +91,20 @@ class Mesh
     send(unsigned src, unsigned dst, unsigned bytes,
          EventQueue::Callback deliver)
     {
-        const unsigned nodes = cols * rows;
-        PROTO_ASSERT(src < nodes && dst < nodes,
-                     "mesh node out of range: src=%u dst=%u nodes=%u",
-                     src, dst, nodes);
-
-        const unsigned h = hops(src, dst);
-        const unsigned flits = flitsFor(bytes);
-
-        stats.messages += 1;
-        stats.bytes += bytes;
-        stats.flits += flits;
-        stats.flitHops += static_cast<std::uint64_t>(flits) * h;
-
-        Cycle latency = 1 + hopLatency * h +
-            flitSerialization * (flits > 0 ? flits - 1 : 0);
-
         if (oracleOn) {
+            const unsigned nodes = cols * rows;
+            PROTO_ASSERT(src < nodes && dst < nodes,
+                         "mesh node out of range: src=%u dst=%u nodes=%u",
+                         src, dst, nodes);
+            const unsigned h = hops(src, dst);
+            const unsigned flits = flitsFor(bytes);
+            stats.messages += 1;
+            stats.bytes += bytes;
+            stats.flits += flits;
+            stats.flitHops += static_cast<std::uint64_t>(flits) * h;
+            const Cycle latency = 1 + hopLatency * h +
+                flitSerialization * (flits > 0 ? flits - 1 : 0);
+
             // Schedule oracle: park the delivery on its (src,dst)
             // channel instead of scheduling it; the external chooser
             // (src/check explorer) fires channels one head at a time,
@@ -113,25 +118,70 @@ class Mesh
             return latency;
         }
 
-        if (faultInjection) {
-            latency += rng.below(jitterMax + 1);
-            if (rng.chance(reorderProb))
-                latency += 4 * jitterMax + 16;
-        }
+        const Cycle arrival =
+            routeMessage(src, dst, bytes, eventq.now(), stats);
+        eventq.scheduleAt(arrival, std::move(deliver));
+        return arrival - eventq.now();
+    }
 
-        Cycle arrival = eventq.now() + latency;
+    /**
+     * Engine-neutral half of send(): account the message in @p slab,
+     * apply fault jitter and the per-pair FIFO clamp, and return the
+     * absolute delivery cycle for a message leaving @p src at @p now.
+     * The sharded engine calls this from shard threads — every mutable
+     * cell it touches (the pair's jitter counter and FIFO clamp, the
+     * caller-supplied stats slab) is indexed by (src,dst) and owned by
+     * src's shard, so concurrent sends from distinct sources never
+     * share state.
+     */
+    Cycle
+    routeMessage(unsigned src, unsigned dst, unsigned bytes, Cycle now,
+                 NetStats &slab)
+    {
+        const unsigned nodes = cols * rows;
+        PROTO_ASSERT(src < nodes && dst < nodes,
+                     "mesh node out of range: src=%u dst=%u nodes=%u",
+                     src, dst, nodes);
+        PROTO_ASSERT(!oracleOn, "schedule oracle is sequential-only");
+
+        const unsigned h = hops(src, dst);
+        const unsigned flits = flitsFor(bytes);
+
+        slab.messages += 1;
+        slab.bytes += bytes;
+        slab.flits += flits;
+        slab.flitHops += static_cast<std::uint64_t>(flits) * h;
+
+        Cycle latency = 1 + hopLatency * h +
+            flitSerialization * (flits > 0 ? flits - 1 : 0);
+
+        const std::size_t pair =
+            static_cast<std::size_t>(src) * nodes + dst;
+        if (faultInjection)
+            latency += faultDelay(pair);
+
+        Cycle arrival = now + latency;
 
         // Per-pair FIFO: never deliver before the previous message on
         // this (src,dst) channel. Applied after fault injection so the
         // ordering invariant survives any perturbation.
-        Cycle &last = lastArrival[static_cast<std::size_t>(src) * nodes + dst];
+        Cycle &last = lastArrival[pair];
         if (arrival <= last)
             arrival = last + 1;
         last = arrival;
 
-        eventq.scheduleAt(arrival, std::move(deliver));
-        return arrival - eventq.now();
+        return arrival;
     }
+
+    /**
+     * Smallest possible delivery delay between two *distinct* tiles:
+     * one base cycle plus at least one hop. The sharded engine's
+     * conservative lookahead window — events inside a window cannot be
+     * affected by cross-shard messages sent in the same window —
+     * equals exactly this bound (jitter and the FIFO clamp only ever
+     * increase a delay).
+     */
+    Cycle minCrossTileLatency() const { return 1 + hopLatency; }
 
     const NetStats &netStats() const { return stats; }
 
@@ -154,29 +204,56 @@ class Mesh
      * default: tracking touches a deque per message and is meant for
      * watchdog-enabled debug runs, not the measurement path.
      */
-    void enableTracking() { tracking = true; }
+    void
+    enableTracking()
+    {
+        tracking = true;
+        if (inFlight.empty())
+            inFlight.resize(static_cast<std::size_t>(cols) * rows);
+    }
     bool trackingEnabled() const { return tracking; }
 
-    /** Record one sent message (caller supplies the arrival cycle). */
+    /**
+     * Record one sent message (caller supplies the arrival cycle and
+     * its local notion of now). Tracked messages live in per-source
+     * deques so concurrent shards never share one; @p now prunes only
+     * the source's own deque.
+     */
     void
-    noteQueued(QueuedMsg msg)
+    noteQueued(QueuedMsg msg, Cycle now)
     {
         if (!tracking)
             return;
-        prune();
-        inFlight.push_back(msg);
+        auto &q = inFlight[msg.src];
+        prune(q, now);
+        q.push_back(msg);
     }
 
-    /** Visit every message still in flight (arrival >= now). */
+    void noteQueued(QueuedMsg msg) { noteQueued(msg, eventq.now()); }
+
+    /**
+     * Visit every message still in flight (arrival >= @p now), source
+     * by source in send order. Not safe concurrently with senders —
+     * call it from the sequential engine or at a barrier.
+     */
+    template <typename F>
+    void
+    forEachQueued(Cycle now, F &&fn)
+    {
+        for (auto &q : inFlight) {
+            prune(q, now);
+            for (const QueuedMsg &m : q) {
+                if (m.arrival >= now)
+                    fn(m);
+            }
+        }
+    }
+
     template <typename F>
     void
     forEachQueued(F &&fn)
     {
-        prune();
-        for (const QueuedMsg &m : inFlight) {
-            if (m.arrival >= eventq.now())
-                fn(m);
-        }
+        forEachQueued(eventq.now(), std::forward<F>(fn));
     }
 
     // ---- schedule oracle (protocheck) -------------------------------
@@ -291,13 +368,34 @@ class Mesh
         return parked[static_cast<std::size_t>(src) * nodes + dst];
     }
 
-    /** Drop tracked messages that were delivered before now. */
-    void
-    prune()
+    /** Drop tracked messages that were delivered before @p now. */
+    static void
+    prune(std::deque<QueuedMsg> &q, Cycle now)
     {
-        while (!inFlight.empty() &&
-               inFlight.front().arrival < eventq.now())
-            inFlight.pop_front();
+        while (!q.empty() && q.front().arrival < now)
+            q.pop_front();
+    }
+
+    /**
+     * Counter-based fault perturbation for the next message on
+     * @p pair: extra delay uniform in [0, jitterMax], plus the long
+     * reorder hold with probability reorderProb. Each draw hashes
+     * (seed, pair, per-pair message index) — no shared stream, so the
+     * schedule is independent of cross-pair send interleaving.
+     */
+    Cycle
+    faultDelay(std::size_t pair)
+    {
+        const std::uint64_t seq = pairSeq[pair]++;
+        Cycle extra = counterHash64(faultSeed, pair, 2 * seq) %
+                      (jitterMax + 1);
+        const double hold =
+            static_cast<double>(
+                counterHash64(faultSeed, pair, 2 * seq + 1) >> 11) *
+            0x1.0p-53;
+        if (hold < reorderProb)
+            extra += 4 * jitterMax + 16;
+        return extra;
     }
 
     EventQueue &eventq;
@@ -310,15 +408,19 @@ class Mesh
     bool faultInjection;
     Cycle jitterMax;
     double reorderProb;
-    Rng rng;
+    /** Base seed of the counter-based jitter hash. */
+    std::uint64_t faultSeed;
 
     NetStats stats;
     /** Flat nodes*nodes matrix of last delivery cycle per (src,dst). */
     std::vector<Cycle> lastArrival;
+    /** Flat nodes*nodes matrix of jitter draws made per (src,dst). */
+    std::vector<std::uint64_t> pairSeq;
 
     bool tracking = false;
-    /** Sent-but-undelivered messages, in send order (tracking only). */
-    std::deque<QueuedMsg> inFlight;
+    /** Per-source sent-but-undelivered messages, in send order
+     *  (tracking only; indexed by src so shards never share a deque). */
+    std::vector<std::deque<QueuedMsg>> inFlight;
 
     bool oracleOn = false;
     /** Flat nodes*nodes array of parked-delivery channels (oracle). */

@@ -1,0 +1,190 @@
+#include "sim/sharded_engine.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.hh"
+#include "sim/system.hh"
+
+namespace protozoa {
+
+namespace {
+
+/**
+ * Shard whose queue the calling thread is currently draining or
+ * executing. Lets System::send assert that every message really is
+ * injected from its source tile's thread — the property the whole
+ * no-locks channel design rests on.
+ */
+thread_local unsigned tlsRunningShard = ShardedEngine::kInvalidShard;
+
+} // namespace
+
+unsigned
+ShardedEngine::runningShard()
+{
+    return tlsRunningShard;
+}
+
+ShardedEngine::ShardedEngine(System &system, unsigned threads)
+    : sys(system),
+      nShards(system.cfg.numCores),
+      nThreads(std::min(std::max(threads, 1u), system.cfg.numCores)),
+      lookahead(system.net->minCrossTileLatency()),
+      channels(static_cast<std::size_t>(system.cfg.numCores) *
+               system.cfg.numCores),
+      shardNext(system.cfg.numCores),
+      barrier(nThreads)
+{
+    PROTO_ASSERT(lookahead >= 1, "mesh lookahead must be positive");
+
+    // Warm the steady-state footprint up front: per-shard calendar
+    // pools/spill heaps and the inbox vectors all reach their
+    // high-water marks without a single mid-run allocation (the
+    // alloc_regression_test runs against this engine too).
+    constexpr std::size_t kNodeReserve = 1024;
+    constexpr std::size_t kChannelReserve = 16;
+    for (auto &q : sys.shardQs)
+        q->reserve(kNodeReserve);
+    for (auto &ch : channels)
+        ch.buf.reserve(kChannelReserve);
+}
+
+void
+ShardedEngine::run(Cycle max_cycles)
+{
+    maxCycles = max_cycles;
+    // First invariant check lands at `checkPeriod`, matching the
+    // sequential engine's schedule(now + period) cadence; the watchdog
+    // mirrors armWatchdog()'s bound/2 interval from cycle zero (a scan
+    // with nothing outstanding is a no-op, so starting before the
+    // first send is harmless).
+    nextCheckAt = sys.checkPeriod;
+    nextWatchdogAt = std::max<Cycle>(sys.watchdogBound / 2, 1);
+
+    std::vector<std::thread> workers;
+    workers.reserve(nThreads - 1);
+    for (unsigned t = 1; t < nThreads; ++t)
+        workers.emplace_back([this, t] { threadMain(t); });
+    threadMain(0);
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ShardedEngine::drainShard(unsigned s)
+{
+    EventQueue &q = *sys.shardQs[s];
+    const std::size_t row = static_cast<std::size_t>(s) * nShards;
+    // Ascending-source order is part of the deterministic event order:
+    // arrivals within one channel are strictly increasing (per-pair
+    // FIFO clamp), and any cross-channel same-cycle tie is broken by
+    // this insertion order, identically for every thread count.
+    for (unsigned src = 0; src < nShards; ++src) {
+        if (src == s)
+            continue;
+        auto &buf = channels[row + src].buf;
+        for (Envelope &e : buf) {
+            static_assert(sizeof(CoherenceMsg) + 2 * sizeof(void *) <=
+                          EventCallback::kInlineBytes,
+                          "cross-shard delivery closure spills to heap");
+            q.scheduleAt(e.arrival,
+                         [sysp = &sys, m = std::move(e.msg)]() mutable {
+                             sysp->deliver(std::move(m));
+                         });
+        }
+        buf.clear();
+    }
+}
+
+bool
+ShardedEngine::serviceDue(Cycle window_end) const
+{
+    return (sys.checkPeriod > 0 && nextCheckAt < window_end) ||
+           (sys.watchdogBound > 0 && !sys.watchdogTripped &&
+            nextWatchdogAt < window_end);
+}
+
+void
+ShardedEngine::serviceWindow(Cycle now, Cycle window_end)
+{
+    while (sys.checkPeriod > 0 && nextCheckAt < window_end) {
+        if (auto err = sys.checkCoherenceInvariant()) {
+            ++sys.invariantErrors;
+            if (sys.firstInvariantError.empty())
+                sys.firstInvariantError = *err;
+        }
+        nextCheckAt += sys.checkPeriod;
+    }
+    if (sys.watchdogBound > 0 && nextWatchdogAt < window_end) {
+        const Cycle interval =
+            std::max<Cycle>(sys.watchdogBound / 2, 1);
+        while (nextWatchdogAt < window_end)
+            nextWatchdogAt += interval;
+        if (!sys.watchdogTripped)
+            sys.watchdogScan(now);
+    }
+}
+
+void
+ShardedEngine::threadMain(unsigned tid)
+{
+    for (;;) {
+        // Barrier A: the previous run phase's channel writes (and, on
+        // the very first iteration, all setup) happen-before the
+        // drain below.
+        barrier.arriveAndWait();
+
+        for (unsigned s = tid; s < nShards; s += nThreads) {
+            drainShard(s);
+            Cycle c;
+            shardNext[s].v =
+                sys.shardQs[s]->nextEventCycle(c) ? c : kInf;
+        }
+
+        // Barrier B: every shardNext slot is published; channel
+        // vectors are all empty from here until the next run phase.
+        barrier.arriveAndWait();
+
+        // Each thread computes the identical global minimum from the
+        // same inputs — no designated coordinator, no extra barrier.
+        Cycle nextT = kInf;
+        for (unsigned s = 0; s < nShards; ++s)
+            nextT = std::min(nextT, shardNext[s].v);
+        if (nextT == kInf)
+            return; // all queues and channels empty: workload done
+        if (nextT > maxCycles) {
+            if (tid != 0) {
+                // Park until thread 0's panic aborts the process.
+                for (;;)
+                    std::this_thread::yield();
+            }
+            panic("sharded engine still busy at cycle %llu "
+                  "(deadlock or livelock?)",
+                  static_cast<unsigned long long>(nextT));
+        }
+        const Cycle windowEnd = nextT + lookahead;
+
+        // Rare path: run the watchdog/invariant sweep single-threaded
+        // while every shard is quiescent at the window boundary. The
+        // first barrier guarantees every thread has evaluated
+        // serviceDue() from the still-unmutated cadence state (they
+        // all agree on taking this branch) before thread 0 advances
+        // it; the second holds the run phase back until the sweep is
+        // done reading controller state.
+        if (serviceDue(windowEnd)) {
+            barrier.arriveAndWait();
+            if (tid == 0)
+                serviceWindow(nextT, windowEnd);
+            barrier.arriveAndWait();
+        }
+
+        for (unsigned s = tid; s < nShards; s += nThreads) {
+            tlsRunningShard = s;
+            sys.shardQs[s]->runUntil(windowEnd);
+        }
+        tlsRunningShard = kInvalidShard;
+    }
+}
+
+} // namespace protozoa

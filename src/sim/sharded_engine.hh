@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Sharded parallel simulation engine: conservative time-window PDES
+ * over per-tile calendar queues.
+ *
+ * Topology. The system is sharded by mesh tile: shard t owns core t,
+ * L1 t, the co-located L2/directory bank t, and its own two-level
+ * calendar EventQueue (the PR 1 kernel, one instance per shard). The
+ * shard count always equals the tile count regardless of how many
+ * worker threads drive them — threads are interchangeable workers over
+ * a fixed shard structure, which is what makes N-thread runs
+ * digest-identical for every N.
+ *
+ * Lookahead. The minimum delivery latency between two distinct tiles
+ * is Mesh::minCrossTileLatency() = 1 + hopLatency (one base cycle plus
+ * at least one hop; jitter and the per-pair FIFO clamp only ever add).
+ * Hence a message sent at local time t lands no earlier than t + H.
+ * Each iteration establishes the global minimum pending cycle T and
+ * opens the window [T, T + H): no event inside the window can be
+ * affected by a cross-shard message sent inside the same window, so
+ * shards free-run to the window edge with no communication at all.
+ * Same-tile messages (an L1 talking to its co-located bank) bypass the
+ * window machinery entirely — they are ordinary local events.
+ *
+ * Window protocol (two barriers per active window):
+ *
+ *   barrier A
+ *   drain:  each shard empties its inbound channels in ascending
+ *           source order into its calendar queue, then publishes its
+ *           earliest pending cycle.
+ *   barrier B
+ *   control: every thread independently computes T = min over shards
+ *           (identical inputs, identical result). T = +inf means all
+ *           queues and channels are empty: the run is over.
+ *   run:    each shard executes runUntil(T + H), routing cross-shard
+ *           sends into the destination's channel.
+ *
+ * Channels are plain per-(dst,src) vectors, written only in the run
+ * phase (by the unique source shard) and read only in the drain phase
+ * (by the unique destination shard); the barriers provide the
+ * happens-before, so no per-message atomics are needed, and clear()
+ * keeps capacity — steady state allocates nothing. Empty stretches
+ * (e.g. a 300-cycle memory round trip with nothing else pending) cost
+ * one barrier pair, not 60 windows: T jumps straight to the next
+ * pending event.
+ *
+ * Determinism. Everything order-sensitive is structural: arrivals come
+ * from Mesh::routeMessage on per-pair state owned by the source,
+ * channel contents are each source shard's deterministic send order,
+ * the drain visits sources in ascending order, and local execution is
+ * the sequential kernel's (cycle, seq) order. No step depends on which
+ * thread ran what when, so for a fixed seed every thread count
+ * produces the same event history and the same stats digest.
+ */
+
+#ifndef PROTOZOA_SIM_SHARDED_ENGINE_HH
+#define PROTOZOA_SIM_SHARDED_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spin_sync.hh"
+#include "common/types.hh"
+#include "protocol/coherence_msg.hh"
+
+namespace protozoa {
+
+class System;
+
+class ShardedEngine
+{
+  public:
+    /** Sentinel "no pending event" time. */
+    static constexpr Cycle kInf = ~Cycle(0);
+
+    /**
+     * @param sys     the owning system; shard queues and controllers
+     *                must already exist.
+     * @param threads requested worker count (clamped to the shard
+     *                count; 1 runs everything on the calling thread).
+     */
+    ShardedEngine(System &sys, unsigned threads);
+
+    /** Drive the whole workload to completion (one call per run). */
+    void run(Cycle max_cycles);
+
+    /**
+     * Queue a cross-shard message for delivery at @p arrival. Called
+     * by System::send from the source shard's thread during the run
+     * phase; the destination drains it at the next window boundary.
+     */
+    void
+    postCrossShard(unsigned src, unsigned dst, Cycle arrival,
+                   CoherenceMsg msg)
+    {
+        channels[static_cast<std::size_t>(dst) * nShards + src]
+            .buf.push_back(Envelope{arrival, std::move(msg)});
+    }
+
+    unsigned threadCount() const { return nThreads; }
+
+    /**
+     * Shard whose events the calling thread is currently executing
+     * (kInvalidShard outside a run phase). Debug hook: System::send
+     * asserts that messages are injected only from their source
+     * shard's thread.
+     */
+    static constexpr unsigned kInvalidShard = ~0u;
+    static unsigned runningShard();
+
+  private:
+    struct Envelope
+    {
+        Cycle arrival;
+        CoherenceMsg msg;
+    };
+
+    /** One (dst,src) inbox. Padded: distinct sources push
+     *  concurrently to adjacent channels of the same destination. */
+    struct alignas(64) Channel
+    {
+        std::vector<Envelope> buf;
+    };
+
+    struct alignas(64) PaddedCycle
+    {
+        Cycle v = kInf;
+    };
+
+    void threadMain(unsigned tid);
+    void drainShard(unsigned s);
+    /** Single-threaded (tid 0) watchdog + invariant service. */
+    void serviceWindow(Cycle now, Cycle window_end);
+    bool serviceDue(Cycle window_end) const;
+
+    System &sys;
+    unsigned nShards;
+    unsigned nThreads;
+    /** Conservative lookahead H = Mesh::minCrossTileLatency(). */
+    Cycle lookahead;
+    Cycle maxCycles = kInf;
+
+    /** Flat dst-major (dst*nShards + src) inbox matrix. */
+    std::vector<Channel> channels;
+    /** Post-drain earliest pending cycle per shard. */
+    std::vector<PaddedCycle> shardNext;
+    SpinBarrier barrier;
+
+    /** Periodic-service cadence (advanced only by tid 0 inside a
+     *  barrier-protected section; read by all threads between
+     *  barriers, so every thread sees the same values). */
+    Cycle nextCheckAt = 0;
+    Cycle nextWatchdogAt = 0;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_SIM_SHARDED_ENGINE_HH

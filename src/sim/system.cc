@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/sharded_engine.hh"
 
 namespace protozoa {
 
@@ -23,19 +24,44 @@ System::System(const SystemConfig &config, Workload workload)
                                                      knobProfileOf(cfg));
     net = std::make_unique<Mesh>(eventq, cfg);
 
+    // The schedule oracle records and replays a single global event
+    // order, so it always runs on the sequential kernel.
+    const unsigned simThreads =
+        net->scheduleOracleEnabled() ? 0 : cfg.resolvedSimThreads();
+    const bool sharded = simThreads > 0;
+    if (sharded) {
+        golden.enableConcurrent();
+        memImage.enableConcurrent();
+        shardNet.resize(cfg.numCores);
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            shardQs.push_back(std::make_unique<EventQueue>());
+            shardCov.push_back(std::make_unique<ConformanceCoverage>(
+                cfg.protocol, knobProfileOf(cfg)));
+        }
+    }
+    auto queueFor = [&](unsigned node) -> EventQueue & {
+        return sharded ? *shardQs[node] : eventq;
+    };
+    auto covFor = [&](unsigned node) {
+        return sharded ? shardCov[node].get() : coverage.get();
+    };
+
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         l1s.push_back(std::make_unique<L1Controller>(
-            c, cfg, eventq, *this, &golden, coverage.get()));
+            c, cfg, queueFor(c), *this, &golden, covFor(c)));
     }
     for (TileId t = 0; t < cfg.l2Tiles; ++t) {
         dirs.push_back(std::make_unique<DirController>(
-            t, cfg, eventq, *this, memImage, coverage.get()));
+            t, cfg, queueFor(t), *this, memImage, covFor(t)));
     }
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         cores.push_back(std::make_unique<CoreModel>(
-            c, eventq, *l1s[c], *traces[c],
+            c, queueFor(c), *l1s[c], *traces[c],
             [this](CoreId id) { onCoreDone(id); }));
     }
+
+    if (sharded)
+        engine = std::make_unique<ShardedEngine>(*this, simThreads);
 
     // The configured bound is calibrated for the paper's 4x4 mesh;
     // bigger fabrics get a geometry-scaled horizon (explicit
@@ -49,9 +75,13 @@ System::~System() = default;
 void
 System::send(CoherenceMsg msg)
 {
+    if (engine) {
+        engineSend(std::move(msg));
+        return;
+    }
     armWatchdog();
     if (filter && !filter(msg)) {
-        ++dropped;
+        dropped.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     const unsigned bytes = msg.sizeBytes(cfg.controlBytes);
@@ -100,11 +130,64 @@ System::send(CoherenceMsg msg)
     }
 }
 
+/**
+ * Sharded-mode send. The caller is the source tile's controller,
+ * running on that shard's thread, so the source shard's clock and
+ * per-pair mesh state (FIFO clamp, jitter counters) are touched only
+ * from here. Same-tile traffic (an L1 and its co-located bank) stays a
+ * local calendar event; cross-tile traffic enters the destination's
+ * inbox channel and is folded in at the next window boundary.
+ */
+void
+System::engineSend(CoherenceMsg msg)
+{
+    if (filter && !filter(msg)) {
+        dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const unsigned src = msg.srcNode;
+    const unsigned dst = msg.dstNode;
+    PROTO_ASSERT(ShardedEngine::runningShard() == src,
+                 "message injected off its source shard's thread");
+
+    EventQueue &q = *shardQs[src];
+    const Cycle now = q.now();
+    const Cycle arrival = net->routeMessage(
+        src, dst, msg.sizeBytes(cfg.controlBytes), now,
+        shardNet[src].stats);
+
+    if (net->trackingEnabled()) {
+        Mesh::QueuedMsg qm;
+        qm.src = src;
+        qm.dst = dst;
+        qm.arrival = arrival;
+        qm.type = msgTypeName(msg.type);
+        qm.region = msg.region;
+        qm.range = msg.range;
+        qm.dstIsDir = msg.dstIsDir;
+        net->noteQueued(qm, now);
+    }
+
+    if (dst == src) {
+        const bool to_dir = msg.dstIsDir;
+        q.scheduleAt(arrival,
+                     [this, to_dir, m = std::move(msg)]() mutable {
+                         if (to_dir)
+                             dirs[m.dstNode]->receive(std::move(m));
+                         else
+                             l1s[m.dstNode]->receive(std::move(m));
+                     });
+    } else {
+        engine->postCrossShard(src, dst, arrival, std::move(msg));
+    }
+}
+
 void
 System::onCoreDone(CoreId)
 {
-    PROTO_ASSERT(coresRunning > 0, "core finished twice");
-    --coresRunning;
+    const unsigned prev =
+        coresRunning.fetch_sub(1, std::memory_order_acq_rel);
+    PROTO_ASSERT(prev > 0, "core finished twice");
 }
 
 void
@@ -131,20 +214,26 @@ System::scheduleInvariantCheck()
 void
 System::run(Cycle max_cycles)
 {
-    coresRunning = cfg.numCores;
+    coresRunning.store(cfg.numCores, std::memory_order_relaxed);
     for (auto &core : cores)
         core->start();
 
-    if (checkPeriod > 0)
+    // In sharded mode the engine itself services the periodic check at
+    // window boundaries (it needs all shards quiescent).
+    if (checkPeriod > 0 && !engine)
         scheduleInvariantCheck();
 
     const auto wall_start = std::chrono::steady_clock::now();
-    eventq.run(max_cycles);
+    if (engine)
+        engine->run(max_cycles);
+    else
+        eventq.run(max_cycles);
     runWallSeconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
-    PROTO_ASSERT(coresRunning == 0, "event queue drained with live cores");
+    PROTO_ASSERT(coresRunning.load(std::memory_order_acquire) == 0,
+                 "event queue drained with live cores");
 
     if (!finalized) {
         for (auto &l1c : l1s)
@@ -167,21 +256,21 @@ System::enableWatchdog(Cycle bound, WatchdogHandler handler)
 void
 System::armWatchdog()
 {
-    if (watchdogBound == 0 || watchdogArmed || watchdogTripped)
+    // Sharded runs drive the scan from the engine's window service.
+    if (engine || watchdogBound == 0 || watchdogArmed || watchdogTripped)
         return;
     watchdogArmed = true;
     const Cycle interval = std::max<Cycle>(watchdogBound / 2, 1);
-    eventq.schedule(interval, [this] { watchdogScan(); });
+    eventq.schedule(interval, [this] { watchdogScan(eventq.now()); });
 }
 
 void
-System::watchdogScan()
+System::watchdogScan(Cycle now)
 {
     watchdogArmed = false;
     if (watchdogTripped)
         return;
 
-    const Cycle now = eventq.now();
     bool outstanding = false;
     std::vector<std::pair<Addr, std::string>> overdue;
 
@@ -232,7 +321,7 @@ System::watchdogScan()
         // either on the wire here or genuinely lost.
         std::vector<Mesh::QueuedMsg> inflight;
         net->forEachQueued(
-            [&](const Mesh::QueuedMsg &m) { inflight.push_back(m); });
+            now, [&](const Mesh::QueuedMsg &m) { inflight.push_back(m); });
         std::stable_sort(inflight.begin(), inflight.end(),
                          [](const Mesh::QueuedMsg &a,
                             const Mesh::QueuedMsg &b) {
@@ -299,17 +388,56 @@ System::dumpRegionDiagnostic(Addr region)
     return os.str();
 }
 
+ConformanceCoverage &
+System::conformance()
+{
+    // Sharded mode records into per-shard trackers; rebuild the
+    // aggregate from scratch on every call so repeated queries never
+    // double-count and always see the latest transitions.
+    if (!shardCov.empty()) {
+        coverage = std::make_unique<ConformanceCoverage>(
+            cfg.protocol, knobProfileOf(cfg));
+        for (const auto &c : shardCov)
+            coverage->merge(*c);
+    }
+    return *coverage;
+}
+
+unsigned
+System::engineThreads() const
+{
+    return engine ? engine->threadCount() : 0;
+}
+
+EventQueue &
+System::shardQueue(unsigned s)
+{
+    PROTO_ASSERT(engine && s < shardQs.size(),
+                 "shardQueue() outside sharded mode");
+    return *shardQs[s];
+}
+
 RunStats
 System::report() const
 {
     RunStats out;
-    out.kernel = eventq.kernelStats();
+    if (engine) {
+        // Deterministic ascending-shard merge: kernel counters are
+        // sums/maxes of per-shard values, themselves identical for
+        // every thread count.
+        for (const auto &q : shardQs)
+            out.kernel.merge(q->kernelStats());
+    } else {
+        out.kernel = eventq.kernelStats();
+    }
     out.kernel.wallSeconds = runWallSeconds;
     for (const auto &l1c : l1s)
         out.l1.merge(l1c->stats);
     for (const auto &d : dirs)
         out.dir.merge(d->stats);
     out.net.merge(net->netStats());
+    for (const auto &slab : shardNet)
+        out.net.merge(slab.stats);
     for (const auto &core : cores) {
         out.instructions += core->instructions();
         out.cycles = std::max(out.cycles, core->finishCycle());

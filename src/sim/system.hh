@@ -13,6 +13,7 @@
 #ifndef PROTOZOA_SIM_SYSTEM_HH
 #define PROTOZOA_SIM_SYSTEM_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -32,6 +33,8 @@
 #include "workload/trace.hh"
 
 namespace protozoa {
+
+class ShardedEngine;
 
 class System : public Router
 {
@@ -64,8 +67,9 @@ class System : public Router
     /** Load-value violations flagged by the golden-memory oracle. */
     std::uint64_t valueViolations() const { return golden.violations(); }
 
-    /** Per-run transition-coverage matrix (always recording). */
-    ConformanceCoverage &conformance() { return *coverage; }
+    /** Per-run transition-coverage matrix (always recording). In
+     *  sharded mode this merges the per-shard trackers on demand. */
+    ConformanceCoverage &conformance();
 
     /** Backing memory image (protocheck golden-word fingerprinting). */
     WordStore &memoryImage() { return memImage; }
@@ -110,15 +114,42 @@ class System : public Router
     DirController &dir(TileId t) { return *dirs[t]; }
     CoreModel &core(CoreId c) { return *cores[c]; }
     Mesh &mesh() { return *net; }
+    /** Sequential-engine calendar queue (unused in sharded mode). */
     EventQueue &eventQueue() { return eventq; }
     GoldenMemory &goldenMemory() { return golden; }
     const SystemConfig &config() const { return cfg; }
 
+    /** True when the sharded parallel engine drives this system
+     *  (cfg.simThreads / PROTOZOA_SIM_THREADS > 0, no schedule
+     *  oracle). */
+    bool parallelEngine() const { return engine != nullptr; }
+
+    /** Worker threads the sharded engine will use (0 = sequential). */
+    unsigned engineThreads() const;
+
+    /** Shard @p s's calendar queue (sharded mode only). */
+    EventQueue &shardQueue(unsigned s);
+
   private:
+    friend class ShardedEngine;
+
     void onCoreDone(CoreId c);
     void scheduleInvariantCheck();
     void armWatchdog();
-    void watchdogScan();
+    void watchdogScan(Cycle now);
+    /** Sharded-mode send: route via the source shard's clock, deliver
+     *  locally or through the destination shard's inbox channel. */
+    void engineSend(CoherenceMsg msg);
+    /** Hand an arrived cross-shard message to its destination
+     *  controller (runs on the destination shard's thread). */
+    void
+    deliver(CoherenceMsg m)
+    {
+        if (m.dstIsDir)
+            dirs[m.dstNode]->receive(std::move(m));
+        else
+            l1s[m.dstNode]->receive(std::move(m));
+    }
 
     SystemConfig cfg;
     EventQueue eventq;
@@ -127,12 +158,28 @@ class System : public Router
     GoldenMemory golden;
     WordStore memImage;
 
+    /**
+     * Sharded-engine state (empty in sequential mode): one calendar
+     * queue and one padded NetStats slab per tile, plus per-shard
+     * conformance trackers so the hot recording path never crosses
+     * threads. conformance() folds the trackers together on demand.
+     */
+    std::vector<std::unique_ptr<EventQueue>> shardQs;
+    struct alignas(64) NetSlab
+    {
+        NetStats stats;
+    };
+    std::vector<NetSlab> shardNet;
+    std::vector<std::unique_ptr<ConformanceCoverage>> shardCov;
+    std::unique_ptr<ShardedEngine> engine;
+
     Workload traces;
     std::vector<std::unique_ptr<L1Controller>> l1s;
     std::vector<std::unique_ptr<DirController>> dirs;
     std::vector<std::unique_ptr<CoreModel>> cores;
 
-    unsigned coresRunning = 0;
+    /** Decremented from shard threads in parallel runs. */
+    std::atomic<unsigned> coresRunning{0};
     bool finalized = false;
     double runWallSeconds = 0.0;
 
@@ -185,7 +232,7 @@ class System : public Router
     std::uint64_t watchdogFired = 0;
 
     MessageFilter filter;
-    std::uint64_t dropped = 0;
+    std::atomic<std::uint64_t> dropped{0};
 };
 
 } // namespace protozoa

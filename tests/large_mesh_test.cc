@@ -37,9 +37,10 @@ TEST(LargeMeshExplorer, UpgradeRace8x8CompletesCleanly)
         EXPECT_FALSE(r.budgetExhausted);
         EXPECT_GT(r.statesVisited, 0u);
         EXPECT_GT(r.schedulesCompleted, 0u);
-        // 64 mesh nodes exceed the 8-node sleep-mask limit: POR must
-        // auto-disable (no pruning) instead of asserting out.
-        EXPECT_EQ(r.porPruned, 0u);
+        // The multi-word ChanMask keeps sleep-set POR live at 64 mesh
+        // nodes (4096 channel bits); this used to auto-disable.
+        // Soundness against full enumeration is locked by
+        // Explorer.PorSoundPastEightNodes in protocheck_test.
     }
 }
 

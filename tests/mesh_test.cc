@@ -281,6 +281,62 @@ TEST(Mesh, JitterIsDeterministicPerSeed)
     EXPECT_NE(schedule(7), schedule(8));
 }
 
+// The injector draws from a counter-based hash of (seed, pair, seq),
+// so a pair's fault schedule depends only on how many messages that
+// pair has carried — not on how sends across different pairs happen to
+// interleave globally. This is what lets the sharded parallel engine
+// (where per-shard execution order is not a single global sequence)
+// reproduce exactly the fault schedules of a sequential run.
+TEST(Mesh, JitterScheduleIsOrderIndependentAcrossPairs)
+{
+    // Two interleavings of the same per-pair send sequences: pairwise
+    // round-robin vs all of pair A first, then all of pair B.
+    auto latencies = [](bool roundRobin) {
+        EventQueue eq;
+        SystemConfig cfg = jitterCfg(1234);
+        Mesh mesh(eq, cfg);
+        std::vector<Cycle> a, b;
+        if (roundRobin) {
+            for (int i = 0; i < 100; ++i) {
+                a.push_back(mesh.send(0, 5, 8, [] {}));
+                b.push_back(mesh.send(2, 7, 8, [] {}));
+            }
+        } else {
+            for (int i = 0; i < 100; ++i)
+                a.push_back(mesh.send(0, 5, 8, [] {}));
+            for (int i = 0; i < 100; ++i)
+                b.push_back(mesh.send(2, 7, 8, [] {}));
+        }
+        eq.run();
+        return std::make_pair(a, b);
+    };
+    EXPECT_EQ(latencies(true), latencies(false));
+}
+
+// Committed digest of one fault schedule: any change to the draw
+// function, hash constants, or per-pair stream layout shows up here.
+// Update kGoldenFaultDigest only for a deliberate injector change.
+TEST(Mesh, FaultScheduleDigestIsStable)
+{
+    constexpr std::uint64_t kGoldenFaultDigest = 0x91f359970e34a7d1ULL;
+
+    EventQueue eq;
+    SystemConfig cfg = jitterCfg(42);
+    Mesh mesh(eq, cfg);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 256; ++i) {
+        const Cycle lat =
+            mesh.send(i % 16, (i * 7 + 3) % 16, 8 + 8 * (i % 3), [] {});
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (lat >> (8 * byte)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    eq.run();
+    EXPECT_EQ(h, kGoldenFaultDigest)
+        << "fault schedule digest changed: 0x" << std::hex << h;
+}
+
 TEST(Mesh, InjectionOffMatchesDefaultLatency)
 {
     EventQueue eq1, eq2;

@@ -156,6 +156,52 @@ TEST(Explorer, PorPreservesFingerprintsAndVerdicts)
 }
 
 /**
+ * The soundness matrix past 8 mesh nodes: the sleep-set channel
+ * bitmap is a multi-word ChanMask (nodes^2 bits), so POR stays active
+ * on the 8x8 large-tier scenarios, where a single-uint64 bitmap used
+ * to force full enumeration. Same contract as the fast-tier matrix —
+ * identical fingerprint sets and verdicts with POR on and off — plus
+ * proof the reduction is actually engaged at 64 nodes (commutations
+ * detected and subtrees pruned somewhere in the matrix).
+ */
+TEST(Explorer, PorSoundPastEightNodes)
+{
+    ExploreLimits on;
+    on.collectFingerprints = true;
+    ExploreLimits off = on;
+    off.por = false;
+    std::uint64_t commutations = 0;
+    std::uint64_t pruned = 0;
+    for (const char *name : {"upgrade-race-8x8", "recall-storm-8x8"}) {
+        const Scenario *s = findScenario(name);
+        ASSERT_NE(s, nullptr) << name;
+        ASSERT_GT(s->numCores, 8u) << name;
+        for (ProtocolKind proto :
+             {ProtocolKind::MESI, ProtocolKind::ProtozoaMW}) {
+            const ExploreResult a = explore(*s, proto, on);
+            const ExploreResult b = explore(*s, proto, off);
+            ASSERT_FALSE(a.budgetExhausted)
+                << name << " " << protocolName(proto);
+            ASSERT_FALSE(b.budgetExhausted)
+                << name << " " << protocolName(proto);
+            EXPECT_EQ(a.violation.has_value(), b.violation.has_value())
+                << name << " " << protocolName(proto);
+            EXPECT_EQ(a.fingerprints, b.fingerprints)
+                << name << " " << protocolName(proto)
+                << ": POR reached " << a.fingerprints.size()
+                << " distinct states, full enumeration "
+                << b.fingerprints.size();
+            commutations += a.porCommutations;
+            pruned += a.porPruned;
+            EXPECT_EQ(b.porCommutations, 0u)
+                << name << " " << protocolName(proto);
+        }
+    }
+    EXPECT_GT(commutations, 0u);
+    EXPECT_GT(pruned, 0u);
+}
+
+/**
  * POR effectiveness, locked with memoization off on both sides so
  * schedulesCompleted counts exactly what each search enumerated: the
  * reduced search explores at least 3x fewer complete schedules than
