@@ -245,4 +245,84 @@ AmoebaCache::setOccupancyBytes(unsigned set_index) const
     return sets[set_index].bytesUsed;
 }
 
+void
+AmoebaCache::placeBlock(AmoebaBlock blk)
+{
+    Set &set = sets[setOf(blk.region)];
+    const unsigned cost = blockCost(blk.range);
+    PROTO_ASSERT(set.bytesUsed + cost <= setBudget,
+                 "restored block does not fit (set %u)",
+                 setOf(blk.region));
+    PROTO_ASSERT(!set.freeSlots.empty(), "set slot pool exhausted");
+    const WordMask m = blk.range.mask();
+    const std::uint16_t s = set.freeSlots.back();
+    set.freeSlots.pop_back();
+    set.slotRegion[s] = blk.region;
+    set.slotCover[s] = m;
+    set.slotLru[s] = blk.lruStamp;
+    set.coverage |= m;
+    set.slots[s] = std::move(blk);
+    set.order.push_back(s);
+    set.bytesUsed += cost;
+}
+
+void
+AmoebaCache::saveState(Serializer &s) const
+{
+    s.writeU64(lruClock);
+    s.writeU32(numSets);
+    for (const auto &set : sets) {
+        s.writeU32(static_cast<std::uint32_t>(set.order.size()));
+        // Walk in insertion order so restore reproduces the order
+        // array (and hence every scan/victim tie-break) exactly.
+        for (const std::uint16_t slot : set.order) {
+            const AmoebaBlock &b = set.slots[slot];
+            s.writeU64(b.region);
+            s.writeRaw(b.range);
+            s.writeU8(static_cast<std::uint8_t>(b.state));
+            s.writeU64(b.touched);
+            s.writeU64(b.fetchPc);
+            s.writeU8(b.missWord);
+            s.writeU64(b.lruStamp);
+            s.writeU32(static_cast<std::uint32_t>(b.words.size()));
+            for (std::uint32_t w = 0; w < b.words.size(); ++w)
+                s.writeU64(b.words[w]);
+        }
+    }
+}
+
+bool
+AmoebaCache::restoreState(Deserializer &d)
+{
+    PROTO_ASSERT(blockCount() == 0,
+                 "cache restore requires a fresh cache");
+    lruClock = d.readU64();
+    if (d.readU32() != numSets)
+        return false;
+    for (unsigned si = 0; si < numSets; ++si) {
+        const std::uint32_t n = d.readU32();
+        if (d.failed() || n > sets[si].slots.size())
+            return false;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            AmoebaBlock b;
+            b.region = d.readU64();
+            d.readRaw(b.range);
+            b.state = static_cast<BlockState>(d.readU8());
+            b.touched = d.readU64();
+            b.fetchPc = d.readU64();
+            b.missWord = d.readU8();
+            b.lruStamp = d.readU64();
+            const std::uint32_t nw = d.readU32();
+            if (d.failed() || nw != b.range.words() ||
+                setOf(b.region) != si)
+                return false;
+            b.words.assign(nw, 0);
+            for (std::uint32_t w = 0; w < nw; ++w)
+                b.words[w] = d.readU64();
+            placeBlock(std::move(b));
+        }
+    }
+    return !d.failed();
+}
+
 } // namespace protozoa

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/serialize.hh"
 #include "common/small_vec.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
@@ -159,6 +160,18 @@ class AmoebaCache
     unsigned setOccupancyBytes(unsigned set_index) const;
     unsigned bytesPerSet() const { return setBudget; }
 
+    /**
+     * Serialize every resident block (exact LRU stamps and per-set
+     * insertion order included) plus the LRU clock.
+     */
+    void saveState(Serializer &s) const;
+    /**
+     * Rebuild from a snapshot. Must be called on a freshly-constructed
+     * cache of the same geometry; reproduces insertion order, LRU
+     * stamps and all derived metadata exactly.
+     */
+    bool restoreState(Deserializer &d);
+
   private:
     /**
      * One set: a fixed pool of block slots plus the insertion-order
@@ -191,6 +204,9 @@ class AmoebaCache
 
     /** Remove order position @p pos of @p set; returns the block. */
     AmoebaBlock takeAt(Set &set, std::size_t pos);
+
+    /** Insert preserving blk.lruStamp (snapshot restore path). */
+    void placeBlock(AmoebaBlock blk);
 
     unsigned numSets;
     unsigned setBudget;

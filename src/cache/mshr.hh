@@ -26,6 +26,7 @@
 
 #include "common/flat_table.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
 #include "protocol/coherence_msg.hh"
@@ -124,6 +125,38 @@ class MshrFile
             if (used[i])
                 fn(slots[i]);
         }
+    }
+
+    /** Serialize slot occupancy and entries (snapshot subsystem). */
+    void
+    saveState(Serializer &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<MshrEntry>);
+        s.writeU32(static_cast<std::uint32_t>(slots.size()));
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            s.writeU8(used[i]);
+            if (used[i])
+                s.writeRaw(slots[i]);
+        }
+    }
+
+    /** Restore into a file of the same capacity. */
+    bool
+    restoreState(Deserializer &d)
+    {
+        if (d.readU32() != slots.size())
+            return false;
+        live = 0;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            used[i] = d.readU8();
+            if (used[i] > 1)
+                return false;
+            if (used[i]) {
+                d.readRaw(slots[i]);
+                ++live;
+            }
+        }
+        return !d.failed();
     }
 
   private:
@@ -228,6 +261,55 @@ class WbBuffer
             n += q.size();
         });
         return n;
+    }
+
+    /**
+     * Serialize every buffered writeback as (region, wb) in table
+     * order, oldest first within a region. Restoring by replaying
+     * push() reproduces each region's FIFO exactly; cross-region
+     * table order is irrelevant to behaviour (lookups are keyed).
+     */
+    void
+    saveState(Serializer &s) const
+    {
+        s.writeU32(static_cast<std::uint32_t>(pendingCount()));
+        forEach([&](Addr region, const PendingWb &wb) {
+            s.writeU64(region);
+            s.writeRaw(wb.seg.range);
+            s.writeU32(static_cast<std::uint32_t>(wb.seg.words.size()));
+            for (std::uint32_t w = 0; w < wb.seg.words.size(); ++w)
+                s.writeU64(wb.seg.words[w]);
+            s.writeU64(wb.touched);
+            s.writeU8(wb.last ? 1 : 0);
+            s.writeU8(wb.demoteOwner ? 1 : 0);
+        });
+    }
+
+    /** Restore into an empty buffer. */
+    bool
+    restoreState(Deserializer &d)
+    {
+        PROTO_ASSERT(pendingCount() == 0,
+                     "WB buffer restore requires an empty buffer");
+        const std::uint32_t n = d.readU32();
+        if (d.failed())
+            return false;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Addr region = d.readU64();
+            PendingWb wb;
+            d.readRaw(wb.seg.range);
+            const std::uint32_t nw = d.readU32();
+            if (d.failed() || nw != wb.seg.range.words())
+                return false;
+            wb.seg.words.assign(nw, 0);
+            for (std::uint32_t w = 0; w < nw; ++w)
+                wb.seg.words[w] = d.readU64();
+            wb.touched = d.readU64();
+            wb.last = d.readU8() != 0;
+            wb.demoteOwner = d.readU8() != 0;
+            push(region, std::move(wb));
+        }
+        return !d.failed();
     }
 
   private:

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
 
@@ -54,6 +55,10 @@ class SpatialPredictor
     {
         (void)pc; (void)miss_word; (void)touched; (void)range;
     }
+
+    /** Snapshot hooks; stateless predictors serialize nothing. */
+    virtual void saveState(Serializer &s) const { (void)s; }
+    virtual bool restoreState(Deserializer &d) { (void)d; return true; }
 };
 
 /** Always fetch the whole region: conventional-cache behaviour. */
@@ -104,6 +109,22 @@ class PcSpatialPredictor : public SpatialPredictor
 
     void learn(Pc pc, unsigned miss_word, WordMask touched,
                const WordRange &range) override;
+
+    void
+    saveState(Serializer &s) const override
+    {
+        s.writeVecRaw(table);
+    }
+
+    bool
+    restoreState(Deserializer &d) override
+    {
+        std::vector<Entry> t;
+        if (!d.readVecRaw(t) || t.size() != table.size())
+            return false;
+        table = std::move(t);
+        return true;
+    }
 
   private:
     struct Entry

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "check/state_fingerprint.hh"
+#include "common/log.hh"
+#include "common/serialize.hh"
 #include "sim/system.hh"
 
 namespace protozoa::check {
@@ -141,7 +143,13 @@ independent(const ChannelInfo &a, const ChannelInfo &b)
 class Run
 {
   public:
-    Run(const Scenario &s, ProtocolKind proto)
+    /**
+     * @param fresh_start issue the scenario's first accesses and run
+     *        to the root quiescent point. Pass false only to follow up
+     *        with restore() — the system must stay untouched for
+     *        System::restoreSnapshot.
+     */
+    Run(const Scenario &s, ProtocolKind proto, bool fresh_start = true)
         : scenario(s), cfg(s.toConfig(proto)),
           sys(cfg, emptyWorkload(cfg.numCores))
     {
@@ -157,6 +165,8 @@ class Run
             homeTiles.set(static_cast<CoreId>(cfg.homeTileOf(r)));
         allNodes = CoreSet::firstN(cfg.numCores);
 
+        if (!fresh_start)
+            return;
         for (CoreId c = 0; c < cfg.numCores; ++c)
             issueNext(c);
         quiesce();
@@ -164,6 +174,67 @@ class Run
 
     Run(const Run &) = delete;
     Run &operator=(const Run &) = delete;
+
+    /**
+     * Serialize this quiescent point: the full system image
+     * (length-prefixed, so the run's own trailer does not trip the
+     * snapshot layer's trailing-bytes check) plus the scenario-issue
+     * progress counters.
+     */
+    void
+    snapshot(std::vector<std::uint8_t> &out) const
+    {
+        Serializer img;
+        std::string err;
+        if (!sys.saveSnapshot(img, &err))
+            panic("explorer snapshot failed: %s", err.c_str());
+        Serializer s;
+        s.writeU64(img.size());
+        s.writeBytes(img.bytes().data(), img.size());
+        for (std::size_t v : issued)
+            s.writeU64(v);
+        for (unsigned v : completed)
+            s.writeU64(v);
+        out = s.bytes();
+    }
+
+    /**
+     * Rebuild the snapshotted quiescent point into this
+     * freshly-constructed (fresh_start = false) run.
+     */
+    void
+    restore(const std::vector<std::uint8_t> &img)
+    {
+        Deserializer hdr(img.data(), img.size());
+        const std::uint64_t sys_len = hdr.readU64();
+        PROTO_ASSERT(!hdr.failed() && sys_len <= img.size() - 8,
+                     "corrupt explorer snapshot header");
+        Deserializer dsys(img.data() + 8,
+                          static_cast<std::size_t>(sys_len));
+        std::string err;
+        if (!sys.restoreSnapshot(dsys, &err))
+            panic("explorer snapshot restore failed: %s", err.c_str());
+        Deserializer d(img.data() + 8 + sys_len,
+                       img.size() - 8 - static_cast<std::size_t>(sys_len));
+        for (std::size_t c = 0; c < issued.size(); ++c)
+            issued[c] = static_cast<std::size_t>(d.readU64());
+        for (std::size_t c = 0; c < completed.size(); ++c)
+            completed[c] = static_cast<unsigned>(d.readU64());
+        PROTO_ASSERT(!d.failed() && d.atEnd(),
+                     "corrupt explorer snapshot trailer");
+        // The system restore rebinds parked L1 completions to the
+        // CoreModel path; this run drives the L1s directly, so rebind
+        // them to the scenario-issue chain instead.
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            if (sys.l1(c).hasPendingDone()) {
+                sys.l1(c).restorePendingDone([this, c](std::uint64_t) {
+                    ++completed[c];
+                    issueNext(c);
+                });
+            }
+        }
+        quiesce();
+    }
 
     /** Deliverable channel heads at this quiescent point, canonical. */
     const std::vector<ChannelInfo> &frontier() const { return front; }
@@ -571,6 +642,8 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         ChanMask sleepIn;
         /** Channel-id bits of already fully explored siblings. */
         ChanMask explored;
+        /** This quiescent point's image (snapshot backtracking). */
+        std::vector<std::uint8_t> snap;
     };
     std::vector<Level> stack;
     std::vector<unsigned> path;
@@ -668,12 +741,15 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
             lv.order = std::move(order);
             lv.sleepIn = sleep;
             lv.explored = ChanMask(chanBits);
+            if (lim.snapshotBacktrack && lv.order.size() > 1)
+                run->snapshot(lv.snap);
             const unsigned k = lv.order[0];
             sleep = childSleep(lv, k);
             path.push_back(k);
             steps.push_back(run->describe(k));
             stack.push_back(std::move(lv));
             run->step(k);
+            ++res.deliveriesExecuted;
             continue;
         }
 
@@ -700,12 +776,21 @@ explore(const Scenario &s, ProtocolKind proto, const ExploreLimits &lim)
         Level &lv = stack.back();
         const unsigned k = lv.order[lv.pos];
         path.back() = k;
-        run = std::make_unique<Run>(s, proto);
-        for (std::size_t i = 0; i + 1 < path.size(); ++i)
-            run->step(path[i]);
+        if (lim.snapshotBacktrack) {
+            // One restore replaces the whole prefix replay.
+            run = std::make_unique<Run>(s, proto, /*fresh_start=*/false);
+            run->restore(lv.snap);
+        } else {
+            run = std::make_unique<Run>(s, proto);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                run->step(path[i]);
+                ++res.deliveriesExecuted;
+            }
+        }
         sleep = childSleep(lv, k);
         steps.back() = run->describe(k);
         run->step(k);
+        ++res.deliveriesExecuted;
     }
 
     if (lim.collectFingerprints) {

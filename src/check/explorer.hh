@@ -12,12 +12,18 @@
  * (the one network ordering assumption the protocol makes), so the
  * explored space is exactly the set of legal network behaviours.
  *
- * Search is depth-first with replay-based backtracking: descending
- * extends the live System in place; backtracking rebuilds a fresh
- * System and replays the choice prefix (the simulator is deterministic
- * given a schedule, so replay is exact). Visited states are memoized
- * by canonical fingerprint (state_fingerprint.hh), collapsing
- * confluent interleavings.
+ * Search is depth-first. Descending extends the live System in place;
+ * backtracking restores the in-memory snapshot taken when the level
+ * was first expanded (the src/snapshot serialization of the full
+ * quiescent state, plus the run's progress counters), so revisiting a
+ * sibling costs one restore instead of replaying the whole choice
+ * prefix from the root. ExploreLimits::snapshotBacktrack turns the
+ * old replay-from-root backtracking back on — the simulator is
+ * deterministic given a schedule, so both modes visit the same states
+ * and return identical verdicts; ExploreResult::deliveriesExecuted
+ * counts the work each actually did. Visited states are memoized by
+ * canonical fingerprint (state_fingerprint.hh), collapsing confluent
+ * interleavings.
  *
  * Partial-order reduction (ExploreLimits::por, on by default): two
  * pending deliveries *commute* when they target different controllers
@@ -90,6 +96,13 @@ struct ExploreLimits
      * per state even for scenarios that cannot memoize).
      */
     bool collectFingerprints = false;
+    /**
+     * Backtrack by restoring per-level in-memory snapshots instead of
+     * replaying the choice prefix from the root. Off = the legacy
+     * replay backtracker (kept for comparison tests; verdicts and
+     * fingerprint sets are identical either way).
+     */
+    bool snapshotBacktrack = true;
 };
 
 /** One delivery decision, for human-readable counterexamples. */
@@ -120,6 +133,13 @@ struct ExploreResult
     std::uint64_t porPruned = 0;
     /** Independent delivery pairs detected while building sleep sets. */
     std::uint64_t porCommutations = 0;
+    /**
+     * Message deliveries actually executed, fresh steps and replayed
+     * ones alike — the search-cost denominator the snapshot
+     * backtracker shrinks (replay-from-root re-executes the whole
+     * prefix on every backtrack; a restore executes none).
+     */
+    std::uint64_t deliveriesExecuted = 0;
     bool budgetExhausted = false;
     std::optional<Violation> violation;
     /**

@@ -31,11 +31,11 @@
 #ifndef PROTOZOA_COMMON_EVENT_QUEUE_HH
 #define PROTOZOA_COMMON_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
 #include <new>
-#include <queue>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -45,6 +45,27 @@
 #include "common/types.hh"
 
 namespace protozoa {
+
+class Serializer;
+
+/**
+ * Detects `void T::saveEvent(Serializer&) const` — the opt-in hook a
+ * scheduled callable implements to make itself checkpointable. The
+ * hook writes an EventKind tag plus a POD payload; the snapshot layer
+ * rebuilds the callable from that record (snapshot_tags.hh).
+ */
+template <typename T, typename = void>
+struct HasSaveEvent : std::false_type
+{
+};
+
+template <typename T>
+struct HasSaveEvent<T, std::void_t<decltype(std::declval<const T &>()
+                                                .saveEvent(
+                                                    std::declval<Serializer &>()))>>
+    : std::true_type
+{
+};
 
 /**
  * Move-only type-erased void() callable with inline small-buffer
@@ -110,6 +131,12 @@ class EventCallback
     /** True when the callable lives in the inline buffer (no heap). */
     bool inlined() const { return vt != nullptr && vt->inlineStored; }
 
+    /** True when the stored callable implements saveEvent(). */
+    bool saveable() const { return vt != nullptr && vt->save != nullptr; }
+
+    /** Serialize the stored callable (must be saveable()). */
+    void save(Serializer &s) const { vt->save(buf, s); }
+
   private:
     struct VTable
     {
@@ -117,8 +144,31 @@ class EventCallback
         /** Move storage from @p src to raw @p dst; leaves src dead. */
         void (*relocate)(void *dst, void *src);
         void (*destroy)(void *);
+        /** Serialize; nullptr for non-checkpointable callables. */
+        void (*save)(const void *, Serializer &);
         bool inlineStored;
     };
+
+    template <typename D, bool Inline>
+    static constexpr auto
+    saveFn()
+    {
+        using Fn = void (*)(const void *, Serializer &);
+        if constexpr (HasSaveEvent<D>::value) {
+            if constexpr (Inline)
+                return Fn([](const void *p, Serializer &s) {
+                    std::launder(reinterpret_cast<const D *>(p))
+                        ->saveEvent(s);
+                });
+            else
+                return Fn([](const void *p, Serializer &s) {
+                    (*std::launder(
+                        reinterpret_cast<D *const *>(p)))->saveEvent(s);
+                });
+        } else {
+            return Fn(nullptr);
+        }
+    }
 
     template <typename T>
     static T *
@@ -135,6 +185,7 @@ class EventCallback
             as<D>(src)->~D();
         },
         [](void *p) { as<D>(p)->~D(); },
+        saveFn<D, true>(),
         true,
     };
 
@@ -145,6 +196,7 @@ class EventCallback
             ::new (dst) D *(*as<D *>(src));
         },
         [](void *p) { delete *as<D *>(p); },
+        saveFn<D, false>(),
         false,
     };
 
@@ -199,8 +251,9 @@ class EventQueue
         if (pending == 0)
             return false;
         Cycle c;
-        if (!nextRingCycle(c) || (!spill.empty() && spill.top().when <= c))
-            c = spill.top().when;
+        if (!nextRingCycle(c) ||
+            (!spill.empty() && spill.front().when <= c))
+            c = spill.front().when;
         out = c;
         return true;
     }
@@ -264,16 +317,83 @@ class EventQueue
     reserve(std::size_t events)
     {
         pool.reserve(events);
-        if (spill.empty()) {
-            std::vector<SpillRef> backing;
-            backing.reserve(events);
-            spill = decltype(spill)(std::greater<>(),
-                                    std::move(backing));
-        }
+        spill.reserve(events);
     }
 
     /** Scheduler observability counters. */
     const KernelStats &kernelStats() const { return kstats; }
+
+    // ---- Snapshot hooks (src/snapshot) --------------------------------
+    //
+    // A checkpoint serializes the queue as (clock, nextSeq, kstats) plus
+    // every pending (when, seq, callback) triple; restore rebuilds the
+    // exact scheduler state so the continued run is bit-identical —
+    // including the kernel counters, which the stats digest covers.
+
+    /**
+     * Visit every pending event as (when, seq, const Callback&), in no
+     * particular order. The snapshot writer sorts by (when, seq) before
+     * serializing.
+     */
+    template <typename F>
+    void
+    forEachPending(F &&fn) const
+    {
+        for (unsigned b = 0; b < kNumBuckets; ++b)
+            for (std::uint32_t n = bucketHead[b]; n != kNil;
+                 n = pool[n].next)
+                fn(pool[n].when, pool[n].seq, pool[n].cb);
+        for (const SpillRef &r : spill)
+            fn(r.when, r.seq, pool[r.node].cb);
+    }
+
+    /**
+     * Re-insert a saved event with its original sequence number.
+     * Restore-only: does not advance nextSeq and does not touch the
+     * kernel counters (those are restored wholesale via setKernelStats,
+     * so re-counting here would double them). Events MUST be restored
+     * in ascending (when, seq) order onto an empty queue whose clock
+     * has already been set — bucket FIFOs are append-only, so that
+     * order is what keeps same-cycle chains sorted by seq.
+     */
+    void
+    restoreEvent(Cycle when, std::uint64_t seq, Callback cb)
+    {
+        PROTO_ASSERT(when >= curCycle, "restoring event into the past");
+        const std::uint32_t n = acquireNode();
+        Node &node = pool[n];
+        node.when = when;
+        node.seq = seq;
+        node.next = kNil;
+        node.cb = std::move(cb);
+
+        if (when - curCycle < kNumBuckets) {
+            const unsigned b = static_cast<unsigned>(when) & kBucketMask;
+            if (bucketHead[b] == kNil) {
+                bucketHead[b] = bucketTail[b] = n;
+                occupancy[b >> 6] |= std::uint64_t(1) << (b & 63);
+            } else {
+                pool[bucketTail[b]].next = n;
+                bucketTail[b] = n;
+            }
+        } else {
+            spill.push_back(SpillRef{when, seq, n});
+            std::push_heap(spill.begin(), spill.end(), std::greater<>());
+        }
+        ++pending;
+    }
+
+    /** Set the clock (restore-only; queue must be empty). */
+    void
+    setClock(Cycle c)
+    {
+        PROTO_ASSERT(pending == 0, "clock set on a non-empty queue");
+        curCycle = c;
+    }
+
+    std::uint64_t nextSeqValue() const { return nextSeq; }
+    void setNextSeq(std::uint64_t s) { nextSeq = s; }
+    void setKernelStats(const KernelStats &k) { kstats = k; }
 
     /**
      * Calendar-ring horizon in cycles: events at least this far in the
@@ -314,7 +434,7 @@ class EventQueue
     void
     dispatch(Cycle c)
     {
-        if (!spill.empty() && spill.top().when == c)
+        if (!spill.empty() && spill.front().when == c)
             migrateSpill(c);
 
         const unsigned b = static_cast<unsigned>(c) & kBucketMask;
@@ -357,7 +477,8 @@ class EventQueue
             }
             ++kstats.bucketScheduled;
         } else {
-            spill.push(SpillRef{when, node.seq, n});
+            spill.push_back(SpillRef{when, node.seq, n});
+            std::push_heap(spill.begin(), spill.end(), std::greater<>());
             ++kstats.heapScheduled;
         }
 
@@ -400,9 +521,10 @@ class EventQueue
     migrateSpill(Cycle c)
     {
         std::uint32_t head = kNil, tail = kNil;
-        while (!spill.empty() && spill.top().when == c) {
-            const std::uint32_t n = spill.top().node;
-            spill.pop();
+        while (!spill.empty() && spill.front().when == c) {
+            const std::uint32_t n = spill.front().node;
+            std::pop_heap(spill.begin(), spill.end(), std::greater<>());
+            spill.pop_back();
             pool[n].next = kNil;
             if (head == kNil)
                 head = n;
@@ -453,8 +575,10 @@ class EventQueue
     }();
     std::array<std::uint32_t, kNumBuckets> bucketTail = bucketHead;
     std::array<std::uint64_t, kNumBuckets / 64> occupancy{};
-    std::priority_queue<SpillRef, std::vector<SpillRef>, std::greater<>>
-        spill;
+    /** Min-heap over (when, seq) kept with std::push_heap/pop_heap so
+     *  the snapshot writer can iterate it (a priority_queue hides its
+     *  container). front() is the earliest spilled event. */
+    std::vector<SpillRef> spill;
 
     std::uint64_t pending = 0;
     Cycle curCycle = 0;

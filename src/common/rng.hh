@@ -69,6 +69,22 @@ class Rng
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Snapshot hooks: expose the raw xoshiro state so a checkpoint
+     *  can resume the stream mid-sequence bit-identically. */
+    void
+    stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state[i];
+    }
+
+    void
+    setStateWords(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Byte-level serialization primitives for the snapshot subsystem.
+ *
+ * Deliberately minimal: a Serializer appends raw little-endian bytes to
+ * a growable buffer (or straight to a file), a Deserializer reads them
+ * back with bounds checking. No exceptions — a short or corrupt input
+ * flips a sticky fail flag and every subsequent read returns zeroed
+ * values, so callers validate once at the end (or at section
+ * boundaries) and surface a clear error string instead of UB.
+ *
+ * Only trivially-copyable types may cross this boundary raw; anything
+ * with internal pointers (flat tables, pools, SmallVecs) is serialized
+ * element-wise by its owner. Format compatibility is governed by
+ * kSnapshotVersion in snapshot_tags.hh: any layout change to a
+ * serialized struct must bump it (see DESIGN.md §13).
+ */
+
+#ifndef PROTOZOA_COMMON_SERIALIZE_HH
+#define PROTOZOA_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace protozoa {
+
+class Serializer
+{
+  public:
+    void
+    writeBytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+
+    template <typename T>
+    void
+    writeRaw(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "raw serialization needs a trivially copyable type");
+        writeBytes(&v, sizeof(T));
+    }
+
+    void writeU8(std::uint8_t v) { writeRaw(v); }
+    void writeU16(std::uint16_t v) { writeRaw(v); }
+    void writeU32(std::uint32_t v) { writeRaw(v); }
+    void writeU64(std::uint64_t v) { writeRaw(v); }
+
+    void
+    writeString(const std::string &s)
+    {
+        writeU64(s.size());
+        writeBytes(s.data(), s.size());
+    }
+
+    /** Length-prefixed vector of trivially-copyable elements. */
+    template <typename T>
+    void
+    writeVecRaw(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "raw serialization needs a trivially copyable type");
+        writeU64(v.size());
+        if (!v.empty())
+            writeBytes(v.data(), v.size() * sizeof(T));
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+    std::size_t size() const { return buf.size(); }
+
+    /** Atomically-ish persist the buffer (write temp + rename). */
+    bool
+    writeFile(const std::string &path, std::string *err = nullptr) const
+    {
+        const std::string tmp = path + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "wb");
+        if (!f) {
+            if (err)
+                *err = "cannot open " + tmp + " for writing";
+            return false;
+        }
+        const bool ok =
+            buf.empty() ||
+            std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+        const bool closed = std::fclose(f) == 0;
+        if (!ok || !closed) {
+            if (err)
+                *err = "short write to " + tmp;
+            std::remove(tmp.c_str());
+            return false;
+        }
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            if (err)
+                *err = "cannot rename " + tmp + " to " + path;
+            std::remove(tmp.c_str());
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+class Deserializer
+{
+  public:
+    Deserializer(const std::uint8_t *data, std::size_t n)
+        : base(data), len(n)
+    {
+    }
+
+    explicit Deserializer(const std::vector<std::uint8_t> &v)
+        : Deserializer(v.data(), v.size())
+    {
+    }
+
+    static bool
+    readFileInto(const std::string &path, std::vector<std::uint8_t> &out,
+                 std::string *err = nullptr)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f) {
+            if (err)
+                *err = "cannot open " + path;
+            return false;
+        }
+        std::fseek(f, 0, SEEK_END);
+        const long sz = std::ftell(f);
+        std::fseek(f, 0, SEEK_SET);
+        if (sz < 0) {
+            std::fclose(f);
+            if (err)
+                *err = "cannot size " + path;
+            return false;
+        }
+        out.resize(static_cast<std::size_t>(sz));
+        const bool ok =
+            out.empty() ||
+            std::fread(out.data(), 1, out.size(), f) == out.size();
+        std::fclose(f);
+        if (!ok) {
+            if (err)
+                *err = "short read from " + path;
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    readBytes(void *p, std::size_t n)
+    {
+        if (fail || n > len - pos) {
+            fail = true;
+            std::memset(p, 0, n);
+            return false;
+        }
+        std::memcpy(p, base + pos, n);
+        pos += n;
+        return true;
+    }
+
+    template <typename T>
+    bool
+    readRaw(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "raw serialization needs a trivially copyable type");
+        return readBytes(&v, sizeof(T));
+    }
+
+    std::uint8_t readU8() { std::uint8_t v = 0; readRaw(v); return v; }
+    std::uint16_t readU16() { std::uint16_t v = 0; readRaw(v); return v; }
+    std::uint32_t readU32() { std::uint32_t v = 0; readRaw(v); return v; }
+    std::uint64_t readU64() { std::uint64_t v = 0; readRaw(v); return v; }
+
+    bool
+    readString(std::string &s)
+    {
+        const std::uint64_t n = readU64();
+        if (fail || n > remaining()) {
+            fail = true;
+            s.clear();
+            return false;
+        }
+        s.assign(reinterpret_cast<const char *>(base + pos),
+                 static_cast<std::size_t>(n));
+        pos += static_cast<std::size_t>(n);
+        return true;
+    }
+
+    template <typename T>
+    bool
+    readVecRaw(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t n = readU64();
+        if (fail || n * sizeof(T) > remaining()) {
+            fail = true;
+            v.clear();
+            return false;
+        }
+        v.resize(static_cast<std::size_t>(n));
+        if (n)
+            readBytes(v.data(), v.size() * sizeof(T));
+        return !fail;
+    }
+
+    std::size_t remaining() const { return len - pos; }
+    bool atEnd() const { return pos == len; }
+    bool failed() const { return fail; }
+    /** Mark the stream bad (caller-detected inconsistency). */
+    void setFailed() { fail = true; }
+
+  private:
+    const std::uint8_t *base;
+    std::size_t len;
+    std::size_t pos = 0;
+    bool fail = false;
+};
+
+} // namespace protozoa
+
+#endif // PROTOZOA_COMMON_SERIALIZE_HH

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/spin_sync.hh"
 #include "common/types.hh"
 
@@ -119,6 +120,48 @@ class WordStore
     std::size_t touchedWords() const;
 
     void clear();
+
+    /**
+     * Visit every explicitly-written word as (addr, value), in
+     * unspecified order. Reads of never-written words return the
+     * deterministic initial image, so the written set IS the store's
+     * entire observable state.
+     */
+    template <typename F>
+    void forEachWritten(F &&fn) const;
+
+    /** Serialize the written-word set (snapshot subsystem). */
+    void
+    saveState(Serializer &s) const
+    {
+        s.writeU64(touchedWords());
+        forEachWritten([&](Addr a, std::uint64_t v) {
+            s.writeU64(a);
+            s.writeU64(v);
+        });
+    }
+
+    /**
+     * Restore into a fresh store (same concurrency mode). Replays the
+     * written set through write(), which reproduces page population,
+     * the written bitmaps, and touchedWords() exactly.
+     */
+    bool
+    restoreState(Deserializer &d)
+    {
+        if (touchedWords() != 0)
+            return false;
+        std::uint64_t n = 0;
+        if (!d.readRaw(n))
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t a = 0, v = 0;
+            if (!d.readRaw(a) || !d.readRaw(v))
+                return false;
+            write(a, v);
+        }
+        return !d.failed();
+    }
 
   private:
     struct Page
@@ -289,6 +332,29 @@ WordStore::clear()
         conc = std::make_unique<Concurrent>();
 }
 
+template <typename F>
+void
+WordStore::forEachWritten(F &&fn) const
+{
+    if (conc) {
+        for (auto &s : conc->stripes) {
+            s.lock.lock();
+            s.store.forEachWritten(fn);
+            s.lock.unlock();
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        if (!used[i])
+            continue;
+        const Page &page = pages[i];
+        for (unsigned w = 0; w < kPageWords; ++w) {
+            if (page.written & (std::uint16_t(1) << w))
+                fn(page.base + w * kWordBytes, page.words[w]);
+        }
+    }
+}
+
 inline std::uint64_t
 WordStore::concRead(Addr addr) const
 {
@@ -356,6 +422,30 @@ class GoldenMemory
     Addr lastViolationAddr() const { return lastBadAddr; }
     std::uint64_t lastExpectedValue() const { return lastExpect; }
     std::uint64_t lastObservedValue() const { return lastObserved; }
+
+    /** Serialize the oracle image and violation record. */
+    void
+    saveState(Serializer &s) const
+    {
+        store.saveState(s);
+        s.writeU64(violationCount.load(std::memory_order_relaxed));
+        s.writeU64(lastBadAddr);
+        s.writeU64(lastExpect);
+        s.writeU64(lastObserved);
+    }
+
+    /** Restore into a fresh oracle (same concurrency mode). */
+    bool
+    restoreState(Deserializer &d)
+    {
+        if (!store.restoreState(d))
+            return false;
+        violationCount.store(d.readU64(), std::memory_order_relaxed);
+        lastBadAddr = d.readU64();
+        lastExpect = d.readU64();
+        lastObserved = d.readU64();
+        return !d.failed();
+    }
 
   private:
     WordStore store;

@@ -31,6 +31,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <deque>
+#include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -38,9 +40,11 @@
 #include "common/event_queue.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "common/word_range.hh"
+#include "protocol/coherence_msg.hh"
 
 namespace protozoa {
 
@@ -84,6 +88,8 @@ class Mesh
     /**
      * Send @p bytes from node @p src to node @p dst; runs @p deliver at
      * the arrival cycle. Same-(src,dst) messages never reorder.
+     * Non-oracle only: under the schedule oracle System::send parks the
+     * message itself via park().
      *
      * @return the delivery delay in core cycles.
      */
@@ -91,37 +97,52 @@ class Mesh
     send(unsigned src, unsigned dst, unsigned bytes,
          EventQueue::Callback deliver)
     {
-        if (oracleOn) {
-            const unsigned nodes = cols * rows;
-            PROTO_ASSERT(src < nodes && dst < nodes,
-                         "mesh node out of range: src=%u dst=%u nodes=%u",
-                         src, dst, nodes);
-            const unsigned h = hops(src, dst);
-            const unsigned flits = flitsFor(bytes);
-            stats.messages += 1;
-            stats.bytes += bytes;
-            stats.flits += flits;
-            stats.flitHops += static_cast<std::uint64_t>(flits) * h;
-            const Cycle latency = 1 + hopLatency * h +
-                flitSerialization * (flits > 0 ? flits - 1 : 0);
-
-            // Schedule oracle: park the delivery on its (src,dst)
-            // channel instead of scheduling it; the external chooser
-            // (src/check explorer) fires channels one head at a time,
-            // so per-pair FIFO order holds by construction.
-            auto &chan =
-                parked[static_cast<std::size_t>(src) * nodes + dst];
-            Parked p;
-            p.deliver = std::move(deliver);
-            chan.push_back(std::move(p));
-            ++parkedTotal;
-            return latency;
-        }
-
+        PROTO_ASSERT(!oracleOn, "send() bypasses the schedule oracle");
         const Cycle arrival =
             routeMessage(src, dst, bytes, eventq.now(), stats);
         eventq.scheduleAt(arrival, std::move(deliver));
         return arrival - eventq.now();
+    }
+
+    /**
+     * Schedule-oracle send: account the message and park it on its
+     * (src,dst) channel instead of scheduling a delivery; the external
+     * chooser (src/check explorer) fires channels one head at a time
+     * via deliverParked(), so per-pair FIFO order holds by
+     * construction. Identifying metadata (fingerprint, type, region)
+     * is derived from the message here.
+     *
+     * @return the nominal delivery delay in core cycles.
+     */
+    Cycle
+    park(unsigned src, unsigned dst, unsigned bytes, CoherenceMsg msg)
+    {
+        PROTO_ASSERT(oracleOn, "park() requires the schedule oracle");
+        const unsigned nodes = cols * rows;
+        PROTO_ASSERT(src < nodes && dst < nodes,
+                     "mesh node out of range: src=%u dst=%u nodes=%u",
+                     src, dst, nodes);
+        const unsigned h = hops(src, dst);
+        const unsigned flits = flitsFor(bytes);
+        stats.messages += 1;
+        stats.bytes += bytes;
+        stats.flits += flits;
+        stats.flitHops += static_cast<std::uint64_t>(flits) * h;
+        const Cycle latency = 1 + hopLatency * h +
+            flitSerialization * (flits > 0 ? flits - 1 : 0);
+
+        auto &chan = parked[static_cast<std::size_t>(src) * nodes + dst];
+        Parked p;
+        p.hash = msg.fingerprint();
+        p.type = msgTypeName(msg.type);
+        p.region = msg.region;
+        p.range = msg.range;
+        p.dstIsDir = msg.dstIsDir;
+        p.isData = msg.type == MsgType::DATA;
+        p.msg = std::move(msg);
+        chan.push_back(std::move(p));
+        ++parkedTotal;
+        return latency;
     }
 
     /**
@@ -183,7 +204,24 @@ class Mesh
      */
     Cycle minCrossTileLatency() const { return 1 + hopLatency; }
 
+    /**
+     * Smallest possible delivery delay from @p src to @p dst
+     * specifically: one base cycle plus the XY-routed hop count at
+     * hopLatency per hop (jitter, serialization and the FIFO clamp only
+     * ever increase a delay). The sharded engine's per-(src,dst)
+     * lookahead matrix is built from this — distant shard pairs earn a
+     * wider window than the flat minCrossTileLatency() bound.
+     */
+    Cycle
+    pairLatencyBound(unsigned src, unsigned dst) const
+    {
+        return 1 + hopLatency * hops(src, dst);
+    }
+
     const NetStats &netStats() const { return stats; }
+
+    /** The mesh-owned stats slab (sequential engine's routeMessage). */
+    NetStats &statsSlab() { return stats; }
 
     /** One tracked in-flight message (deadlock-watchdog diagnostics). */
     struct QueuedMsg
@@ -261,7 +299,11 @@ class Mesh
     /** One message parked under the schedule oracle. */
     struct Parked
     {
-        EventQueue::Callback deliver;
+        /** The parked message itself — delivered via the deliver
+         *  hook when the explorer fires this channel head. Holding
+         *  the message (not a type-erased closure) is what lets the
+         *  explorer snapshot and restore parked channels byte-wise. */
+        CoherenceMsg msg;
         /** Canonical content hash (state fingerprinting). */
         std::uint64_t hash = 0;
         /** Static message-type name (repro / diagnostics). */
@@ -297,24 +339,14 @@ class Mesh
     std::size_t parkedMessages() const { return parkedTotal; }
 
     /**
-     * Attach identifying metadata to the most recently parked message
-     * on (src,dst). Called by System::send immediately after send()
-     * parks the delivery (the message content is only visible there).
+     * Install the delivery sink for parked messages: deliverParked()
+     * hands the popped message to this hook (System::deliver). Must be
+     * set before the first deliverParked() under the oracle.
      */
     void
-    annotateParked(unsigned src, unsigned dst, std::uint64_t hash,
-                   const char *type, Addr region, const WordRange &range,
-                   bool dst_is_dir, bool is_data)
+    setDeliverHook(std::function<void(CoherenceMsg &&)> hook)
     {
-        auto &chan = parkedChannel(src, dst);
-        PROTO_ASSERT(!chan.empty(), "annotating an empty channel");
-        Parked &p = chan.back();
-        p.hash = hash;
-        p.type = type;
-        p.region = region;
-        p.range = range;
-        p.dstIsDir = dst_is_dir;
-        p.isData = is_data;
+        deliverHook = std::move(hook);
     }
 
     /**
@@ -341,10 +373,13 @@ class Mesh
     {
         auto &chan = parkedChannel(src, dst);
         PROTO_ASSERT(!chan.empty(), "delivering from an empty channel");
-        EventQueue::Callback cb = std::move(chan.front().deliver);
+        PROTO_ASSERT(deliverHook, "deliverParked without a deliver hook");
+        CoherenceMsg msg = std::move(chan.front().msg);
         chan.pop_front();
         --parkedTotal;
-        eventq.schedule(0, std::move(cb));
+        eventq.schedule(0, [this, m = std::move(msg)]() mutable {
+            deliverHook(std::move(m));
+        });
     }
 
     /**
@@ -356,6 +391,83 @@ class Mesh
     {
         stats = NetStats();
         std::fill(lastArrival.begin(), lastArrival.end(), 0);
+    }
+
+    /**
+     * Serialize all mutable mesh state: counters, the per-pair FIFO
+     * clamp and jitter-draw matrices, and (under the oracle) every
+     * parked channel. In-flight *tracking* deques are diagnostics only
+     * and are not saved.
+     */
+    void
+    saveState(Serializer &s) const
+    {
+        static_assert(std::is_trivially_copyable<NetStats>::value,
+                      "NetStats must stay raw-serializable");
+        s.writeRaw(stats);
+        s.writeVecRaw(lastArrival);
+        s.writeVecRaw(pairSeq);
+        s.writeU8(oracleOn ? 1 : 0);
+        if (oracleOn) {
+            s.writeU32(static_cast<std::uint32_t>(parked.size()));
+            for (const auto &chan : parked) {
+                s.writeU32(static_cast<std::uint32_t>(chan.size()));
+                for (const Parked &p : chan) {
+                    s.writeRaw(p.msg);
+                    s.writeU64(p.hash);
+                }
+            }
+        }
+    }
+
+    /**
+     * Restore into a freshly constructed mesh of the same geometry and
+     * fault configuration. Parked-message metadata (type name, region,
+     * range, data flag) is recomputed from the message content.
+     */
+    bool
+    restoreState(Deserializer &d)
+    {
+        NetStats st;
+        if (!d.readRaw(st))
+            return false;
+        std::vector<Cycle> la;
+        std::vector<std::uint64_t> ps;
+        if (!d.readVecRaw(la) || la.size() != lastArrival.size())
+            return false;
+        if (!d.readVecRaw(ps) || ps.size() != pairSeq.size())
+            return false;
+        std::uint8_t oracle = 0;
+        if (!d.readRaw(oracle) || (oracle != 0) != oracleOn)
+            return false;
+        stats = st;
+        lastArrival = std::move(la);
+        pairSeq = std::move(ps);
+        if (oracleOn) {
+            std::uint32_t chans = 0;
+            if (!d.readRaw(chans) || chans != parked.size())
+                return false;
+            parkedTotal = 0;
+            for (auto &chan : parked) {
+                chan.clear();
+                std::uint32_t n = 0;
+                if (!d.readRaw(n))
+                    return false;
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    Parked p;
+                    if (!d.readRaw(p.msg) || !d.readRaw(p.hash))
+                        return false;
+                    p.type = msgTypeName(p.msg.type);
+                    p.region = p.msg.region;
+                    p.range = p.msg.range;
+                    p.dstIsDir = p.msg.dstIsDir;
+                    p.isData = p.msg.type == MsgType::DATA;
+                    chan.push_back(std::move(p));
+                    ++parkedTotal;
+                }
+            }
+        }
+        return !d.failed();
     }
 
   private:
@@ -426,6 +538,8 @@ class Mesh
     /** Flat nodes*nodes array of parked-delivery channels (oracle). */
     std::vector<std::deque<Parked>> parked;
     std::size_t parkedTotal = 0;
+    /** Delivery sink for parked messages (set by System). */
+    std::function<void(CoherenceMsg &&)> deliverHook;
 };
 
 } // namespace protozoa

@@ -22,6 +22,7 @@
 
 #include "common/core_mask.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace protozoa {
@@ -100,6 +101,20 @@ class CountingBloomSharers
     {
         return static_cast<std::uint64_t>(numBuckets) * numHashes *
             numCores;
+    }
+
+    /** Serialize the counter array (snapshot subsystem). */
+    void saveState(Serializer &s) const { s.writeVecRaw(counters); }
+
+    /** Restore into a filter of the same geometry. */
+    bool
+    restoreState(Deserializer &d)
+    {
+        std::vector<std::uint16_t> c;
+        if (!d.readVecRaw(c) || c.size() != counters.size())
+            return false;
+        counters = std::move(c);
+        return true;
     }
 
   private:

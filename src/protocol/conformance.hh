@@ -42,6 +42,7 @@
 #include <string>
 
 #include "common/config.hh"
+#include "common/serialize.hh"
 
 namespace protozoa {
 
@@ -227,6 +228,26 @@ class ConformanceCoverage
     /** Full documented inventories (all protocols). */
     static const L1TransitionDoc *l1Inventory(std::size_t &count);
     static const DirTransitionDoc *dirInventory(std::size_t &count);
+
+    /** Serialize the observation matrices (snapshot subsystem); the
+     *  documented-row cubes are derived from the protocol and rebuilt
+     *  by the constructor. */
+    void
+    saveState(Serializer &s) const
+    {
+        s.writeBytes(seen, sizeof(seen));
+        s.writeBytes(l1Counts, sizeof(l1Counts));
+        s.writeBytes(dirCounts, sizeof(dirCounts));
+    }
+
+    /** Restore into a tracker of the same protocol and profile. */
+    bool
+    restoreState(Deserializer &d)
+    {
+        return d.readBytes(seen, sizeof(seen)) &&
+               d.readBytes(l1Counts, sizeof(l1Counts)) &&
+               d.readBytes(dirCounts, sizeof(dirCounts));
+    }
 
   private:
     template <typename E>

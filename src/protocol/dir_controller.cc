@@ -133,9 +133,7 @@ DirController::sendMsg(CoherenceMsg msg, Cycle when)
 {
     msg.srcNode = tileId;
     msg.dstIsDir = false;
-    eventq.scheduleAt(when, [this, m = std::move(msg)]() mutable {
-        router.send(std::move(m));
-    });
+    eventq.scheduleAt(when, SendEvent{this, std::move(msg)});
 }
 
 unsigned
@@ -392,15 +390,19 @@ DirController::fetchFromMemory(Addr region)
 {
     stats.memReadBytes += cfg.regionBytes;
     const Cycle when = occupy(cfg.l2Latency) + cfg.memLatency;
-    eventq.scheduleAt(when, [this, region] {
-        L2Entry *entry = lookup(region);
-        PROTO_ASSERT(entry && entry->filling, "fill target vanished");
-        entry->wordCount = cfg.regionWords();
-        memImage.readRange(region, entry->words.data(),
-                           cfg.regionWords());
-        entry->filling = false;
-        probePhase(region);
-    });
+    eventq.scheduleAt(when, FillEvent{this, region});
+}
+
+void
+DirController::finishFill(Addr region)
+{
+    L2Entry *entry = lookup(region);
+    PROTO_ASSERT(entry && entry->filling, "fill target vanished");
+    entry->wordCount = cfg.regionWords();
+    memImage.readRange(region, entry->words.data(),
+                       cfg.regionWords());
+    entry->filling = false;
+    probePhase(region);
 }
 
 void
@@ -780,6 +782,100 @@ DirController::drainQueue(Addr region)
     }
     if (q->empty())
         waiting.erase(region);
+}
+
+void
+DirController::saveState(Serializer &s) const
+{
+    static_assert(std::is_trivially_copyable_v<DirStats>);
+    static_assert(std::is_trivially_copyable_v<L2Entry>);
+    static_assert(std::is_trivially_copyable_v<Txn>);
+    s.writeRaw(stats);
+    s.writeU64(lruClock);
+    s.writeU64(busyUntil);
+    std::uint64_t rng[4];
+    occRng.stateWords(rng);
+    for (const std::uint64_t w : rng)
+        s.writeU64(w);
+
+    // L2 sets raw, slot by slot: preserves slot positions (and hence
+    // the lookup / victim scan order) exactly, stale slots included.
+    s.writeU32(setsPerTile);
+    s.writeU32(cfg.l2Assoc);
+    for (const auto &set : sets)
+        for (const L2Entry &e : set)
+            s.writeRaw(e);
+
+    // Active transactions and wait queues, replayed at restore in the
+    // same table order (per-region FIFO order is what matters).
+    s.writeU32(static_cast<std::uint32_t>(active.size()));
+    active.forEach([&](Addr region, const Txn &t) {
+        s.writeU64(region);
+        s.writeRaw(t);
+    });
+    std::uint32_t queued = 0;
+    forEachWaitingMsg([&](Addr, const CoherenceMsg &) { ++queued; });
+    s.writeU32(queued);
+    forEachWaitingMsg([&](Addr region, const CoherenceMsg &m) {
+        s.writeU64(region);
+        s.writeRaw(m);
+    });
+
+    s.writeU8(bloomReaders ? 1 : 0);
+    if (bloomReaders) {
+        bloomReaders->saveState(s);
+        bloomWriters->saveState(s);
+    }
+}
+
+bool
+DirController::restoreState(Deserializer &d)
+{
+    d.readRaw(stats);
+    lruClock = d.readU64();
+    busyUntil = d.readU64();
+    std::uint64_t rng[4];
+    for (std::uint64_t &w : rng)
+        w = d.readU64();
+    occRng.setStateWords(rng);
+
+    if (d.readU32() != setsPerTile || d.readU32() != cfg.l2Assoc)
+        return false;
+    for (auto &set : sets)
+        for (L2Entry &e : set)
+            d.readRaw(e);
+
+    const std::uint32_t txns = d.readU32();
+    if (d.failed())
+        return false;
+    for (std::uint32_t i = 0; i < txns; ++i) {
+        const Addr region = d.readU64();
+        Txn t;
+        d.readRaw(t);
+        if (d.failed())
+            return false;
+        active.emplace(region, t);
+    }
+    const std::uint32_t queued = d.readU32();
+    if (d.failed())
+        return false;
+    for (std::uint32_t i = 0; i < queued; ++i) {
+        const Addr region = d.readU64();
+        CoherenceMsg m;
+        d.readRaw(m);
+        if (d.failed())
+            return false;
+        waitPool.push(*waiting.findOrCreate(region), std::move(m));
+    }
+
+    const bool has_bloom = d.readU8() != 0;
+    if (has_bloom != (bloomReaders != nullptr))
+        return false;
+    if (bloomReaders &&
+        (!bloomReaders->restoreState(d) ||
+         !bloomWriters->restoreState(d)))
+        return false;
+    return !d.failed();
 }
 
 } // namespace protozoa

@@ -40,6 +40,8 @@
 #include "common/event_queue.hh"
 #include "common/flat_table.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
+#include "common/snapshot_tags.hh"
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "protocol/bloom_directory.hh"
@@ -174,6 +176,48 @@ class DirController
             });
     }
 
+    // --- saveable events (snapshot subsystem) ---
+
+    /** Pipeline-delayed hand-off of one outgoing message to the
+     *  router. */
+    struct SendEvent
+    {
+        DirController *dir;
+        CoherenceMsg msg;
+
+        void operator()() { dir->router.send(std::move(msg)); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::DirSend));
+            s.writeU16(dir->tileId);
+            s.writeRaw(msg);
+        }
+    };
+
+    /** Memory-latency-delayed completion of an L2 fill. */
+    struct FillEvent
+    {
+        DirController *dir;
+        Addr region;
+
+        void operator()() const { dir->finishFill(region); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::DirFill));
+            s.writeU16(dir->tileId);
+            s.writeU64(region);
+        }
+    };
+
+    /** Serialize / restore all mutable tile state (L2 sets, active
+     *  transactions, wait queues, Bloom counters, occupancy, stats). */
+    void saveState(Serializer &s) const;
+    bool restoreState(Deserializer &d);
+
   private:
     /** One L2 block + directory entry. */
     struct L2Entry
@@ -237,6 +281,8 @@ class DirController
     void beginRecall(Addr victim, Addr parent);
     void finishRecall(Addr victim);
     void fetchFromMemory(Addr region);
+    /** FillEvent body: copy the words in and run the probe phase. */
+    void finishFill(Addr region);
     void probePhase(Addr region);
     void handleProbeResponse(const CoherenceMsg &msg);
     void respond(Addr region);

@@ -89,9 +89,7 @@ L1Controller::sendMsg(CoherenceMsg msg, Cycle when, bool count_stats)
                  msg.stillSharer, msg.last, msg.demoteOwner);
     if (count_stats)
         countCtrl(msg);
-    eventq.scheduleAt(when, [this, m = std::move(msg)]() mutable {
-        router.send(std::move(m));
-    });
+    eventq.scheduleAt(when, SendEvent{this, std::move(msg)});
 }
 
 bool
@@ -188,9 +186,7 @@ L1Controller::handleHit(AmoebaBlock *blk, const MemAccess &acc,
         abstractOf(blk->state));
 
     const Cycle done_at = occupy(cfg.l1Latency);
-    auto cb = std::move(pendingDone);
-    pendingDone = nullptr;
-    eventq.scheduleAt(done_at, [cb = std::move(cb), value] { cb(value); });
+    eventq.scheduleAt(done_at, CompleteEvent{this, value});
 }
 
 void
@@ -344,11 +340,8 @@ L1Controller::handleData(const CoherenceMsg &msg)
     };
 
     auto complete = [&](std::uint64_t value) {
-        auto cb = std::move(pendingDone);
-        pendingDone = nullptr;
         mshrs.free(region);
-        eventq.scheduleAt(done_at,
-                          [cb = std::move(cb), value] { cb(value); });
+        eventq.scheduleAt(done_at, CompleteEvent{this, value});
     };
 
     if (msg.data.empty()) {
@@ -665,6 +658,40 @@ void
 L1Controller::finalizeStats()
 {
     cache.forEach([this](const AmoebaBlock &blk) { classifyDeath(blk); });
+}
+
+void
+L1Controller::saveState(Serializer &s) const
+{
+    static_assert(std::is_trivially_copyable_v<L1Stats>);
+    s.writeRaw(stats);
+    s.writeU64(busyUntil);
+    std::uint64_t rng[4];
+    occRng.stateWords(rng);
+    for (const std::uint64_t w : rng)
+        s.writeU64(w);
+    s.writeU8(pendingDone ? 1 : 0);
+    cache.saveState(s);
+    predictor->saveState(s);
+    mshrs.saveState(s);
+    wbBuffer.saveState(s);
+}
+
+bool
+L1Controller::restoreState(Deserializer &d, bool &had_pending)
+{
+    d.readRaw(stats);
+    busyUntil = d.readU64();
+    std::uint64_t rng[4];
+    for (std::uint64_t &w : rng)
+        w = d.readU64();
+    occRng.setStateWords(rng);
+    had_pending = d.readU8() != 0;
+    if (d.failed())
+        return false;
+    return cache.restoreState(d) && predictor->restoreState(d) &&
+           mshrs.restoreState(d) && wbBuffer.restoreState(d) &&
+           !d.failed();
 }
 
 } // namespace protozoa

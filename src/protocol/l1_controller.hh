@@ -32,6 +32,8 @@
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
+#include "common/snapshot_tags.hh"
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "protocol/coherence_msg.hh"
@@ -82,6 +84,71 @@ class L1Controller
     SpatialPredictor &predictorPolicy() { return *predictor; }
     const WbBuffer &writebackBuffer() const { return wbBuffer; }
     const MshrFile &mshrFile() const { return mshrs; }
+
+    // --- saveable events (snapshot subsystem) ---
+
+    /** Pipeline-delayed hand-off of one outgoing message to the
+     *  router (the mesh entry point). */
+    struct SendEvent
+    {
+        L1Controller *l1;
+        CoherenceMsg msg;
+
+        void operator()() { l1->router.send(std::move(msg)); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::L1Send));
+            s.writeU16(l1->coreId);
+            s.writeRaw(msg);
+        }
+    };
+
+    /** Completion of the outstanding core access: fires the parked
+     *  pendingDone callback with the loaded value. */
+    struct CompleteEvent
+    {
+        L1Controller *l1;
+        std::uint64_t value;
+
+        void operator()() const { l1->firePendingDone(value); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::L1Complete));
+            s.writeU16(l1->coreId);
+            s.writeU64(value);
+        }
+    };
+
+    // --- snapshot hooks ---
+
+    /** True when a core access is awaiting its CompleteEvent. */
+    bool hasPendingDone() const { return static_cast<bool>(pendingDone); }
+
+    /** Reinstall the completion callback after a snapshot restore
+     *  (callbacks themselves are not serializable). */
+    void restorePendingDone(AccessCallback cb) { pendingDone = std::move(cb); }
+
+    /** Move the parked completion out and invoke it (CompleteEvent). */
+    void
+    firePendingDone(std::uint64_t value)
+    {
+        PROTO_ASSERT(pendingDone, "completion fired with nothing parked");
+        auto cb = std::move(pendingDone);
+        pendingDone = nullptr;
+        cb(value);
+    }
+
+    /** Serialize / restore all mutable controller state (cache,
+     *  predictor, MSHRs, writeback buffer, occupancy, stats).
+     *  @p had_pending reports whether a completion was parked at save
+     *  time; the caller reinstalls the (unserializable) callback via
+     *  restorePendingDone. */
+    void saveState(Serializer &s) const;
+    bool restoreState(Deserializer &d, bool &had_pending);
 
   private:
     /** Reserve the controller for @p latency cycles; returns finish. */

@@ -11,7 +11,42 @@ CoreModel::CoreModel(CoreId id, EventQueue &eq, L1Controller &l1c,
 void
 CoreModel::start()
 {
-    eventq.schedule(0, [this] { step(); });
+    eventq.schedule(0, StepEvent{this});
+}
+
+L1Controller::AccessCallback
+CoreModel::completionCallback()
+{
+    return [this](std::uint64_t) { step(); };
+}
+
+void
+CoreModel::issue(const MemAccess &acc)
+{
+    l1.requestAccess(acc, completionCallback());
+}
+
+void
+CoreModel::saveState(Serializer &s) const
+{
+    s.writeU64(instrCount);
+    s.writeU64(storeSeq);
+    s.writeU8(finished ? 1 : 0);
+    s.writeU64(finishedAt);
+    s.writeU64(trace.cursor());
+}
+
+bool
+CoreModel::restoreState(Deserializer &d)
+{
+    instrCount = d.readU64();
+    storeSeq = d.readU64();
+    finished = d.readU8() != 0;
+    finishedAt = d.readU64();
+    const std::uint64_t cur = d.readU64();
+    if (d.failed())
+        return false;
+    return trace.seekTo(cur);
 }
 
 void
@@ -38,9 +73,7 @@ CoreModel::step()
             (static_cast<std::uint64_t>(coreId) << 48) | ++storeSeq;
     }
 
-    eventq.schedule(rec.gapInstrs, [this, acc] {
-        l1.requestAccess(acc, [this](std::uint64_t) { step(); });
-    });
+    eventq.schedule(rec.gapInstrs, IssueEvent{this, acc});
 }
 
 } // namespace protozoa

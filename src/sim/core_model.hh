@@ -15,6 +15,8 @@
 #include <functional>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
+#include "common/snapshot_tags.hh"
 #include "common/types.hh"
 #include "protocol/l1_controller.hh"
 #include "workload/trace.hh"
@@ -34,8 +36,54 @@ class CoreModel
     std::uint64_t instructions() const { return instrCount; }
     Cycle finishCycle() const { return finishedAt; }
 
+    // --- saveable events (snapshot subsystem) ---
+
+    /** Issue-loop trampoline: fetch + decode the next trace record. */
+    struct StepEvent
+    {
+        CoreModel *core;
+
+        void operator()() const { core->step(); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::CoreStep));
+            s.writeU16(core->coreId);
+        }
+    };
+
+    /** Gap-delayed hand-off of one decoded access to the L1. */
+    struct IssueEvent
+    {
+        CoreModel *core;
+        MemAccess acc;
+
+        void operator()() const { core->issue(acc); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::CoreIssue));
+            s.writeU16(core->coreId);
+            s.writeRaw(acc);
+        }
+    };
+
+    /**
+     * The completion callback this core installs into its L1 with
+     * every access. Snapshot restore reinstalls it for an L1 whose
+     * saved state had a parked completion.
+     */
+    L1Controller::AccessCallback completionCallback();
+
+    /** Serialize progress state (the trace cursor rides along). */
+    void saveState(Serializer &s) const;
+    bool restoreState(Deserializer &d);
+
   private:
     void step();
+    void issue(const MemAccess &acc);
 
     CoreId coreId;
     EventQueue &eventq;

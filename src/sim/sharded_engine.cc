@@ -30,13 +30,21 @@ ShardedEngine::ShardedEngine(System &system, unsigned threads)
     : sys(system),
       nShards(system.cfg.numCores),
       nThreads(std::min(std::max(threads, 1u), system.cfg.numCores)),
-      lookahead(system.net->minCrossTileLatency()),
+      selfLookahead(2 * system.net->minCrossTileLatency()),
+      pairLookahead(static_cast<std::size_t>(system.cfg.numCores) *
+                    system.cfg.numCores),
       channels(static_cast<std::size_t>(system.cfg.numCores) *
                system.cfg.numCores),
       shardNext(system.cfg.numCores),
       barrier(nThreads)
 {
-    PROTO_ASSERT(lookahead >= 1, "mesh lookahead must be positive");
+    PROTO_ASSERT(selfLookahead >= 2, "mesh lookahead must be positive");
+    for (unsigned src = 0; src < nShards; ++src) {
+        for (unsigned dst = 0; dst < nShards; ++dst) {
+            pairLookahead[static_cast<std::size_t>(src) * nShards + dst] =
+                sys.net->pairLatencyBound(src, dst);
+        }
+    }
 
     // Warm the steady-state footprint up front: per-shard calendar
     // pools/spill heaps and the inbox vectors all reach their
@@ -51,16 +59,23 @@ ShardedEngine::ShardedEngine(System &system, unsigned threads)
 }
 
 void
-ShardedEngine::run(Cycle max_cycles)
+ShardedEngine::run(Cycle max_cycles, Cycle stop_at)
 {
     maxCycles = max_cycles;
+    stopAt = stop_at;
     // First invariant check lands at `checkPeriod`, matching the
     // sequential engine's schedule(now + period) cadence; the watchdog
     // mirrors armWatchdog()'s bound/2 interval from cycle zero (a scan
     // with nothing outstanding is a no-op, so starting before the
-    // first send is harmless).
-    nextCheckAt = sys.checkPeriod;
-    nextWatchdogAt = std::max<Cycle>(sys.watchdogBound / 2, 1);
+    // first send is harmless). A resumed run (second run() call, or a
+    // snapshot restore that called setResumeCadence) keeps the cadence
+    // it paused with.
+    if (!cadenceSet) {
+        nextCheckAt = sys.checkPeriod;
+        nextWatchdogAt = std::max<Cycle>(sys.watchdogBound / 2, 1);
+        nextWindowAt = sys.windowPeriod;
+        cadenceSet = true;
+    }
 
     std::vector<std::thread> workers;
     workers.reserve(nThreads - 1);
@@ -85,24 +100,27 @@ ShardedEngine::drainShard(unsigned s)
             continue;
         auto &buf = channels[row + src].buf;
         for (Envelope &e : buf) {
-            static_assert(sizeof(CoherenceMsg) + 2 * sizeof(void *) <=
+            static_assert(sizeof(System::DeliverEvent) <=
                           EventCallback::kInlineBytes,
-                          "cross-shard delivery closure spills to heap");
+                          "cross-shard delivery event spills to heap");
             q.scheduleAt(e.arrival,
-                         [sysp = &sys, m = std::move(e.msg)]() mutable {
-                             sysp->deliver(std::move(m));
-                         });
+                         System::DeliverEvent{&sys, std::move(e.msg)});
         }
         buf.clear();
     }
 }
 
-bool
-ShardedEngine::serviceDue(Cycle window_end) const
+Cycle
+ShardedEngine::serviceBound() const
 {
-    return (sys.checkPeriod > 0 && nextCheckAt < window_end) ||
-           (sys.watchdogBound > 0 && !sys.watchdogTripped &&
-            nextWatchdogAt < window_end);
+    Cycle bound = kInf;
+    if (sys.checkPeriod > 0)
+        bound = std::min(bound, nextCheckAt);
+    if (sys.watchdogBound > 0 && !sys.watchdogTripped)
+        bound = std::min(bound, nextWatchdogAt);
+    if (sys.windowPeriod > 0)
+        bound = std::min(bound, nextWindowAt);
+    return bound;
 }
 
 void
@@ -124,6 +142,36 @@ ShardedEngine::serviceWindow(Cycle now, Cycle window_end)
         if (!sys.watchdogTripped)
             sys.watchdogScan(now);
     }
+    // Stats-window rollover at the nearest quiescent boundary at or
+    // past the nominal cadence point (shards are all parked here, so
+    // the sampled counters are a consistent cross-shard cut).
+    while (sys.windowPeriod > 0 && nextWindowAt < window_end) {
+        sys.windowRollover(now);
+        nextWindowAt += sys.windowPeriod;
+    }
+}
+
+Cycle
+ShardedEngine::shardWindowEnd(unsigned s) const
+{
+    // Self round-trip term: a reply chain this shard originates can
+    // come back no earlier than two minimum-latency legs after its
+    // earliest possible send.
+    Cycle end = kInf;
+    if (shardNext[s].v != kInf)
+        end = shardNext[s].v + selfLookahead;
+    // Direct (and, via the triangle inequality, every multi-hop)
+    // bound from each other shard's published earliest event.
+    for (unsigned src = 0; src < nShards; ++src) {
+        if (src == s || shardNext[src].v == kInf)
+            continue;
+        end = std::min(
+            end,
+            shardNext[src].v +
+                pairLookahead[static_cast<std::size_t>(src) * nShards +
+                              s]);
+    }
+    return end;
 }
 
 void
@@ -153,6 +201,8 @@ ShardedEngine::threadMain(unsigned tid)
             nextT = std::min(nextT, shardNext[s].v);
         if (nextT == kInf)
             return; // all queues and channels empty: workload done
+        if (nextT >= stopAt)
+            return; // bounded run: paused quiescent at the stop cycle
         if (nextT > maxCycles) {
             if (tid != 0) {
                 // Park until thread 0's panic aborts the process.
@@ -163,25 +213,34 @@ ShardedEngine::threadMain(unsigned tid)
                   "(deadlock or livelock?)",
                   static_cast<unsigned long long>(nextT));
         }
-        const Cycle windowEnd = nextT + lookahead;
 
-        // Rare path: run the watchdog/invariant sweep single-threaded
-        // while every shard is quiescent at the window boundary. The
-        // first barrier guarantees every thread has evaluated
-        // serviceDue() from the still-unmutated cadence state (they
-        // all agree on taking this branch) before thread 0 advances
-        // it; the second holds the run phase back until the sweep is
-        // done reading controller state.
-        if (serviceDue(windowEnd)) {
+        // Rare path: run the watchdog/invariant/stats-window sweep
+        // single-threaded while every shard is quiescent at the
+        // window boundary. The first barrier guarantees every thread
+        // has evaluated serviceBound() from the still-unmutated
+        // cadence state (they all agree on taking this branch) before
+        // thread 0 advances it; the second holds the run phase back
+        // until the sweep is done reading controller state — and
+        // publishes the advanced cadence for the recompute below.
+        Cycle service = serviceBound();
+        if (service <= nextT) {
             barrier.arriveAndWait();
             if (tid == 0)
-                serviceWindow(nextT, windowEnd);
+                serviceWindow(nextT, nextT + 1);
             barrier.arriveAndWait();
+            service = serviceBound();
         }
 
+        // Free-run each shard to its own lookahead horizon, additionally
+        // clamped so no shard crosses an unserviced cadence point or
+        // the stop cycle. Every bound is a pure function of the
+        // published shardNext snapshot and the cadence state, so the
+        // event history is identical for every thread count.
         for (unsigned s = tid; s < nShards; s += nThreads) {
+            const Cycle end =
+                std::min({shardWindowEnd(s), service, stopAt});
             tlsRunningShard = s;
-            sys.shardQs[s]->runUntil(windowEnd);
+            sys.shardQs[s]->runUntil(end);
         }
         tlsRunningShard = kInvalidShard;
     }

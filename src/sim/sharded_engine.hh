@@ -11,16 +11,30 @@
  * a fixed shard structure, which is what makes N-thread runs
  * digest-identical for every N.
  *
- * Lookahead. The minimum delivery latency between two distinct tiles
- * is Mesh::minCrossTileLatency() = 1 + hopLatency (one base cycle plus
- * at least one hop; jitter and the per-pair FIFO clamp only ever add).
- * Hence a message sent at local time t lands no earlier than t + H.
- * Each iteration establishes the global minimum pending cycle T and
- * opens the window [T, T + H): no event inside the window can be
- * affected by a cross-shard message sent inside the same window, so
- * shards free-run to the window edge with no communication at all.
- * Same-tile messages (an L1 talking to its co-located bank) bypass the
- * window machinery entirely — they are ordinary local events.
+ * Lookahead. The minimum delivery latency from tile s' to tile s is
+ * L[s'][s] = 1 + hopLatency * hops(s', s) (Mesh::pairLatencyBound;
+ * jitter, flit serialization and the per-pair FIFO clamp only ever
+ * add). Each iteration publishes every shard's earliest pending cycle
+ * n[s'] and opens a PER-SHARD window
+ *
+ *   end[s] = min( min_{s' != s}  n[s'] + L[s'][s],
+ *                 n[s] + 2 * minCrossTileLatency() )
+ *
+ * The first group bounds the earliest cross-shard message any other
+ * shard could still send here: a direct send from s' lands no earlier
+ * than n[s'] + L[s'][s], and a multi-hop chain s' -> k -> s lands no
+ * earlier still, because L is a metric (1 + hop * XY-distance obeys
+ * the triangle inequality, and every relay adds its own +1). The
+ * second, self round-trip term is what makes the matrix form sound: a
+ * chain *originating here* (s sends at >= n[s], some k replies) can
+ * land at n[s] + L[s][k] + L[k][s] >= n[s] + 2*(1 + hopLatency) — a
+ * bound no n[s'] term covers, since the reply was not yet in k's
+ * queue when n[k] was published. Distant shard pairs therefore earn
+ * windows proportional to their mesh distance instead of everyone
+ * stopping at the flat global minimum + 1 hop — same event history,
+ * fewer barrier rounds. Same-tile messages (an L1 talking to its
+ * co-located bank) bypass the window machinery entirely — they are
+ * ordinary local events.
  *
  * Window protocol (two barriers per active window):
  *
@@ -31,9 +45,13 @@
  *   barrier B
  *   control: every thread independently computes T = min over shards
  *           (identical inputs, identical result). T = +inf means all
- *           queues and channels are empty: the run is over.
- *   run:    each shard executes runUntil(T + H), routing cross-shard
- *           sends into the destination's channel.
+ *           queues and channels are empty: the run is over; T past
+ *           the stop cycle means the engine pauses with every channel
+ *           drained — the quiescent state a checkpoint serializes.
+ *   run:    each shard executes runUntil(end[s]) — additionally
+ *           clamped to the next due periodic-service cycle and the
+ *           stop cycle — routing cross-shard sends into the
+ *           destination's channel.
  *
  * Channels are plain per-(dst,src) vectors, written only in the run
  * phase (by the unique source shard) and read only in the drain phase
@@ -82,8 +100,43 @@ class ShardedEngine
      */
     ShardedEngine(System &sys, unsigned threads);
 
-    /** Drive the whole workload to completion (one call per run). */
-    void run(Cycle max_cycles);
+    /**
+     * Drive the workload until it completes or simulated time reaches
+     * @p stop_at (kInf = run to completion). Callable repeatedly; a
+     * stopped engine resumes where it paused. At a stop boundary every
+     * inbox channel is drained and every shard queue's next event is
+     * at or past the boundary — the quiescent state saveSnapshot()
+     * serializes.
+     */
+    void run(Cycle max_cycles, Cycle stop_at = kInf);
+
+    // ---- snapshot hooks (src/snapshot) ------------------------------
+
+    /** Restore the periodic-service cadence saved at checkpoint. */
+    void
+    setResumeCadence(Cycle check, Cycle watchdog, Cycle window)
+    {
+        nextCheckAt = check;
+        nextWatchdogAt = watchdog;
+        nextWindowAt = window;
+        cadenceSet = true;
+    }
+
+    Cycle checkCadence() const { return nextCheckAt; }
+    Cycle watchdogCadence() const { return nextWatchdogAt; }
+    Cycle windowCadence() const { return nextWindowAt; }
+
+    /** True when every inbox channel is drained — the state the engine
+     *  pauses in at a stop boundary, required before a checkpoint. */
+    bool
+    quiescent() const
+    {
+        for (const Channel &ch : channels) {
+            if (!ch.buf.empty())
+                return false;
+        }
+        return true;
+    }
 
     /**
      * Queue a cross-shard message for delivery at @p arrival. Called
@@ -130,16 +183,26 @@ class ShardedEngine
 
     void threadMain(unsigned tid);
     void drainShard(unsigned s);
-    /** Single-threaded (tid 0) watchdog + invariant service. */
+    /** Single-threaded (tid 0) watchdog + invariant + window service. */
     void serviceWindow(Cycle now, Cycle window_end);
-    bool serviceDue(Cycle window_end) const;
+    /** Earliest cycle at which any periodic service is due (kInf when
+     *  none is armed). Pure function of the cadence state, so every
+     *  thread computes the identical value between barriers. */
+    Cycle serviceBound() const;
+    /** Conservative free-run horizon of shard @p s given the published
+     *  shardNext snapshot (the per-shard window formula above). */
+    Cycle shardWindowEnd(unsigned s) const;
 
     System &sys;
     unsigned nShards;
     unsigned nThreads;
-    /** Conservative lookahead H = Mesh::minCrossTileLatency(). */
-    Cycle lookahead;
+    /** Self round-trip bound 2 * Mesh::minCrossTileLatency(). */
+    Cycle selfLookahead;
+    /** Flat src-major (src*nShards + dst) matrix of per-pair minimum
+     *  delivery latencies L[src][dst] = Mesh::pairLatencyBound. */
+    std::vector<Cycle> pairLookahead;
     Cycle maxCycles = kInf;
+    Cycle stopAt = kInf;
 
     /** Flat dst-major (dst*nShards + src) inbox matrix. */
     std::vector<Channel> channels;
@@ -152,6 +215,10 @@ class ShardedEngine
      *  barriers, so every thread sees the same values). */
     Cycle nextCheckAt = 0;
     Cycle nextWatchdogAt = 0;
+    Cycle nextWindowAt = 0;
+    /** Cadence pre-seeded by a snapshot restore: run() must not
+     *  re-initialize it. */
+    bool cadenceSet = false;
 };
 
 } // namespace protozoa

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "common/log.hh"
@@ -23,6 +24,8 @@ System::System(const SystemConfig &config, Workload workload)
     coverage = std::make_unique<ConformanceCoverage>(cfg.protocol,
                                                      knobProfileOf(cfg));
     net = std::make_unique<Mesh>(eventq, cfg);
+    net->setDeliverHook(
+        [this](CoherenceMsg &&m) { deliver(std::move(m)); });
 
     // The schedule oracle records and replays a single global event
     // order, so it always runs on the sequential kernel.
@@ -90,32 +93,26 @@ System::send(CoherenceMsg msg)
     const bool to_dir = msg.dstIsDir;
 
     // Snapshot the identifying fields before the message moves into the
-    // delivery closure, for the watchdog's in-flight tracking and the
-    // schedule oracle's parked-message annotation.
+    // delivery event, for the watchdog's in-flight tracking.
     const MsgType type = msg.type;
     const Addr region = msg.region;
     const WordRange range = msg.range;
-    const std::uint64_t fp =
-        net->scheduleOracleEnabled() ? msg.fingerprint() : 0;
 
-    // The delivery closure must fit the event queue's inline buffer or
+    // The delivery event must fit the event queue's inline buffer or
     // every message send costs a heap allocation.
-    static_assert(sizeof(CoherenceMsg) + 2 * sizeof(void *) <=
-                  EventCallback::kInlineBytes,
-                  "mesh delivery closure spills to the heap");
+    static_assert(sizeof(DeliverEvent) <= EventCallback::kInlineBytes,
+                  "mesh delivery event spills to the heap");
 
-    const Cycle delay =
-        net->send(src, dst, bytes,
-                  [this, to_dir, m = std::move(msg)]() mutable {
-                      if (to_dir)
-                          dirs[m.dstNode]->receive(std::move(m));
-                      else
-                          l1s[m.dstNode]->receive(std::move(m));
-                  });
-
-    if (net->scheduleOracleEnabled())
-        net->annotateParked(src, dst, fp, msgTypeName(type), region,
-                            range, to_dir, type == MsgType::DATA);
+    Cycle delay;
+    if (net->scheduleOracleEnabled()) {
+        delay = net->park(src, dst, bytes, std::move(msg));
+    } else {
+        const Cycle arrival = net->routeMessage(src, dst, bytes,
+                                                eventq.now(),
+                                                net->statsSlab());
+        delay = arrival - eventq.now();
+        eventq.scheduleAt(arrival, DeliverEvent{this, std::move(msg)});
+    }
 
     if (net->trackingEnabled()) {
         Mesh::QueuedMsg q;
@@ -169,14 +166,7 @@ System::engineSend(CoherenceMsg msg)
     }
 
     if (dst == src) {
-        const bool to_dir = msg.dstIsDir;
-        q.scheduleAt(arrival,
-                     [this, to_dir, m = std::move(msg)]() mutable {
-                         if (to_dir)
-                             dirs[m.dstNode]->receive(std::move(m));
-                         else
-                             l1s[m.dstNode]->receive(std::move(m));
-                     });
+        q.scheduleAt(arrival, DeliverEvent{this, std::move(msg)});
     } else {
         engine->postCrossShard(src, dst, arrival, std::move(msg));
     }
@@ -200,46 +190,176 @@ System::enablePeriodicInvariantCheck(Cycle period)
 void
 System::scheduleInvariantCheck()
 {
-    eventq.schedule(checkPeriod, [this] {
-        if (auto err = checkCoherenceInvariant()) {
-            ++invariantErrors;
-            if (firstInvariantError.empty())
-                firstInvariantError = *err;
-        }
-        if (coresRunning > 0)
-            scheduleInvariantCheck();
-    });
+    eventq.schedule(checkPeriod, InvariantTickEvent{this});
+}
+
+void
+System::invariantTick()
+{
+    if (auto err = checkCoherenceInvariant()) {
+        ++invariantErrors;
+        if (firstInvariantError.empty())
+            firstInvariantError = *err;
+    }
+    if (coresRunning > 0)
+        scheduleInvariantCheck();
 }
 
 void
 System::run(Cycle max_cycles)
 {
-    coresRunning.store(cfg.numCores, std::memory_order_relaxed);
-    for (auto &core : cores)
-        core->start();
+    runTo(kNoStop, max_cycles);
+}
 
-    // In sharded mode the engine itself services the periodic check at
-    // window boundaries (it needs all shards quiescent).
-    if (checkPeriod > 0 && !engine)
-        scheduleInvariantCheck();
+void
+System::runTo(Cycle stop_at, Cycle max_cycles)
+{
+    if (!started) {
+        started = true;
+        coresRunning.store(cfg.numCores, std::memory_order_relaxed);
+        for (auto &core : cores)
+            core->start();
+
+        // In sharded mode the engine itself services the periodic
+        // check and the stats window at boundaries (they need all
+        // shards quiescent).
+        if (checkPeriod > 0 && !engine)
+            scheduleInvariantCheck();
+        if (windowPeriod > 0 && !engine)
+            eventq.schedule(windowPeriod, WindowTickEvent{this});
+    }
 
     const auto wall_start = std::chrono::steady_clock::now();
-    if (engine)
-        engine->run(max_cycles);
-    else
+    if (engine) {
+        engine->run(max_cycles, stop_at);
+    } else if (stop_at == kNoStop) {
         eventq.run(max_cycles);
+    } else {
+        eventq.runUntil(stop_at);
+    }
     runWallSeconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
+
+    // A bounded run may stop mid-workload; only a drained run
+    // finalizes.
+    if (stop_at != kNoStop &&
+        coresRunning.load(std::memory_order_acquire) != 0)
+        return;
     PROTO_ASSERT(coresRunning.load(std::memory_order_acquire) == 0,
                  "event queue drained with live cores");
 
     if (!finalized) {
         for (auto &l1c : l1s)
             l1c->finalizeStats();
+        // Close the trailing partial stats window.
+        if (windowPeriod > 0)
+            windowRollover(engine ? report().cycles : eventq.now());
         finalized = true;
+        if (windowPeriod > 0 && !windowPath.empty())
+            writeWindowJson();
     }
+}
+
+void
+System::enableWindowStats(Cycle period, std::string json_path)
+{
+    PROTO_ASSERT(period > 0, "zero stats window");
+    windowPeriod = period;
+    windowPath = std::move(json_path);
+}
+
+void
+System::windowTick()
+{
+    windowRollover(eventq.now());
+    if (coresRunning > 0)
+        eventq.schedule(windowPeriod, WindowTickEvent{this});
+}
+
+void
+System::windowRollover(Cycle now)
+{
+    const RunStats cur = report();
+    WindowSample w;
+    w.endCycle = now;
+    w.instructions = cur.instructions - winPrev.instructions;
+    w.loads = cur.l1.loads - winPrev.l1.loads;
+    w.stores = cur.l1.stores - winPrev.l1.stores;
+    w.hits = cur.l1.hits - winPrev.l1.hits;
+    w.misses = cur.l1.misses - winPrev.l1.misses;
+    w.blocksInvalidated =
+        cur.l1.blocksInvalidated - winPrev.l1.blocksInvalidated;
+    w.usedDataBytes = cur.l1.usedDataBytes - winPrev.l1.usedDataBytes;
+    w.unusedDataBytes =
+        cur.l1.unusedDataBytes - winPrev.l1.unusedDataBytes;
+    w.netMessages = cur.net.messages - winPrev.net.messages;
+    w.netBytes = cur.net.bytes - winPrev.net.bytes;
+    w.flitHops = cur.net.flitHops - winPrev.net.flitHops;
+    w.dirRequests = cur.dir.requests - winPrev.dir.requests;
+    w.l2Misses = cur.dir.l2Misses - winPrev.dir.l2Misses;
+    w.recalls = cur.dir.recalls - winPrev.dir.recalls;
+    for (std::size_t i = 0; i < w.blockSizeHist.size(); ++i)
+        w.blockSizeHist[i] = cur.l1.blockSizeHist[i] -
+            winPrev.l1.blockSizeHist[i];
+    for (const auto &d : dirs) {
+        d->forEachEntry(
+            [&](const DirController::EntrySnap &) { ++w.dirOccupancy; });
+    }
+    windows.push_back(w);
+    winPrev = cur;
+}
+
+void
+System::writeWindowJson() const
+{
+    std::FILE *f = std::fopen(windowPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "window stats: cannot open %s\n",
+                     windowPath.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"windowCycles\": %llu,\n  \"windows\": [\n",
+                 static_cast<unsigned long long>(windowPeriod));
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const WindowSample &w = windows[i];
+        std::fprintf(
+            f,
+            "    {\"endCycle\": %llu, \"instructions\": %llu, "
+            "\"loads\": %llu, \"stores\": %llu, \"hits\": %llu, "
+            "\"misses\": %llu, \"blocksInvalidated\": %llu, "
+            "\"usedDataBytes\": %llu, \"unusedDataBytes\": %llu, "
+            "\"netMessages\": %llu, \"netBytes\": %llu, "
+            "\"flitHops\": %llu, \"dirRequests\": %llu, "
+            "\"l2Misses\": %llu, \"recalls\": %llu, "
+            "\"dirOccupancy\": %llu, \"blockSizeHist\": [",
+            static_cast<unsigned long long>(w.endCycle),
+            static_cast<unsigned long long>(w.instructions),
+            static_cast<unsigned long long>(w.loads),
+            static_cast<unsigned long long>(w.stores),
+            static_cast<unsigned long long>(w.hits),
+            static_cast<unsigned long long>(w.misses),
+            static_cast<unsigned long long>(w.blocksInvalidated),
+            static_cast<unsigned long long>(w.usedDataBytes),
+            static_cast<unsigned long long>(w.unusedDataBytes),
+            static_cast<unsigned long long>(w.netMessages),
+            static_cast<unsigned long long>(w.netBytes),
+            static_cast<unsigned long long>(w.flitHops),
+            static_cast<unsigned long long>(w.dirRequests),
+            static_cast<unsigned long long>(w.l2Misses),
+            static_cast<unsigned long long>(w.recalls),
+            static_cast<unsigned long long>(w.dirOccupancy));
+        for (std::size_t b = 0; b < w.blockSizeHist.size(); ++b) {
+            std::fprintf(f, "%s%llu", b ? ", " : "",
+                         static_cast<unsigned long long>(
+                             w.blockSizeHist[b]));
+        }
+        std::fprintf(f, "]}%s\n",
+                     i + 1 < windows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 void
@@ -261,7 +381,7 @@ System::armWatchdog()
         return;
     watchdogArmed = true;
     const Cycle interval = std::max<Cycle>(watchdogBound / 2, 1);
-    eventq.schedule(interval, [this] { watchdogScan(eventq.now()); });
+    eventq.schedule(interval, WatchdogTickEvent{this});
 }
 
 void

@@ -22,6 +22,8 @@
 
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
+#include "common/snapshot_tags.hh"
 #include "common/stats.hh"
 #include "mem/golden_memory.hh"
 #include "noc/mesh.hh"
@@ -47,6 +49,86 @@ class System : public Router
      * @param max_cycles deadlock safety net (panics when exceeded).
      */
     void run(Cycle max_cycles = 2'000'000'000ULL);
+
+    /** No-stop sentinel for runTo(). */
+    static constexpr Cycle kNoStop = ~Cycle(0);
+
+    /**
+     * Run until simulated time reaches @p stop_at or the workload
+     * completes, whichever is first. Callable repeatedly; the first
+     * call starts the cores, later calls resume. The system is
+     * quiescent between calls (no event mid-flight), which is exactly
+     * the state saveSnapshot() serializes.
+     */
+    void runTo(Cycle stop_at, Cycle max_cycles = 2'000'000'000ULL);
+
+    /** True once the workload has fully drained and stats finalized. */
+    bool finished() const { return finalized; }
+
+    // ---- checkpoint / restore (src/snapshot) ------------------------
+
+    /**
+     * Serialize the complete mutable simulation state — every cache,
+     * controller, core, queue and pending event — so a fresh System
+     * built from the same config can resume bit-identically.
+     * @return false (with *error set) if any pending event is not
+     *         checkpointable.
+     */
+    bool saveSnapshot(Serializer &s, std::string *error = nullptr) const;
+
+    /**
+     * Restore a snapshot into this freshly-constructed System (same
+     * config, nothing run yet). On success the system resumes from the
+     * saved cycle via run()/runTo() and produces a stats digest
+     * bit-identical to the uninterrupted run.
+     */
+    bool restoreSnapshot(Deserializer &d, std::string *error = nullptr);
+
+    bool saveSnapshotFile(const std::string &path,
+                          std::string *error = nullptr) const;
+    bool restoreSnapshotFile(const std::string &path,
+                             std::string *error = nullptr);
+
+    // ---- windowed online statistics ---------------------------------
+
+    /** One windowed-stats epoch: counter deltas over the window plus an
+     *  instantaneous directory-occupancy probe at rollover. */
+    struct WindowSample
+    {
+        Cycle endCycle = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t blocksInvalidated = 0;
+        std::uint64_t usedDataBytes = 0;
+        std::uint64_t unusedDataBytes = 0;
+        std::uint64_t netMessages = 0;
+        std::uint64_t netBytes = 0;
+        std::uint64_t flitHops = 0;
+        std::uint64_t dirRequests = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t recalls = 0;
+        /** Granularity mix: blocks inserted this window, by word count. */
+        std::array<std::uint64_t, kMaxRegionWords + 1> blockSizeHist{};
+        /** Valid L2/directory entries across all tiles at rollover. */
+        std::uint64_t dirOccupancy = 0;
+    };
+
+    /**
+     * Record a WindowSample every @p period cycles (phase-over-time
+     * series for long-horizon runs). Off by default — the measurement
+     * path and the stats digest are untouched unless enabled. When
+     * @p json_path is non-empty the series is written there as JSON
+     * when the run completes.
+     */
+    void enableWindowStats(Cycle period, std::string json_path = {});
+
+    const std::vector<WindowSample> &windowSamples() const
+    {
+        return windows;
+    }
 
     /** Aggregate statistics (valid after run()). */
     RunStats report() const;
@@ -130,13 +212,86 @@ class System : public Router
     /** Shard @p s's calendar queue (sharded mode only). */
     EventQueue &shardQueue(unsigned s);
 
+    // --- saveable events (snapshot subsystem) ------------------------
+
+    /** In-flight delivery of one coherence message (either engine:
+     *  sequential mesh arrivals and sharded local/cross-shard
+     *  deliveries all land here). */
+    struct DeliverEvent
+    {
+        System *sys;
+        CoherenceMsg msg;
+
+        void operator()() { sys->deliver(std::move(msg)); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::SysDeliver));
+            s.writeRaw(msg);
+        }
+    };
+
+    /** Periodic whole-system coherence sweep (sequential engine). */
+    struct InvariantTickEvent
+    {
+        System *sys;
+
+        void operator()() const { sys->invariantTick(); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(
+                static_cast<std::uint8_t>(EventKind::InvariantTick));
+        }
+    };
+
+    /** Deadlock-watchdog scan (sequential engine). */
+    struct WatchdogTickEvent
+    {
+        System *sys;
+
+        void operator()() const { sys->watchdogTick(); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(
+                static_cast<std::uint8_t>(EventKind::WatchdogTick));
+        }
+    };
+
+    /** Windowed-stats epoch rollover (sequential engine). */
+    struct WindowTickEvent
+    {
+        System *sys;
+
+        void operator()() const { sys->windowTick(); }
+
+        void
+        saveEvent(Serializer &s) const
+        {
+            s.writeU8(static_cast<std::uint8_t>(EventKind::WindowTick));
+        }
+    };
+
   private:
     friend class ShardedEngine;
 
     void onCoreDone(CoreId c);
     void scheduleInvariantCheck();
+    /** InvariantTickEvent body: sweep + reschedule while cores run. */
+    void invariantTick();
     void armWatchdog();
+    /** WatchdogTickEvent body. */
+    void watchdogTick() { watchdogScan(eventq.now()); }
     void watchdogScan(Cycle now);
+    /** WindowTickEvent body: rollover + reschedule while cores run. */
+    void windowTick();
+    /** Record one WindowSample at the current cycle (both engines). */
+    void windowRollover(Cycle now);
+    void writeWindowJson() const;
     /** Sharded-mode send: route via the source shard's clock, deliver
      *  locally or through the destination shard's inbox channel. */
     void engineSend(CoherenceMsg msg);
@@ -180,8 +335,17 @@ class System : public Router
 
     /** Decremented from shard threads in parallel runs. */
     std::atomic<unsigned> coresRunning{0};
+    /** First runTo()/run() call has started the cores. */
+    bool started = false;
     bool finalized = false;
     double runWallSeconds = 0.0;
+
+    // Windowed online stats (off unless enableWindowStats ran).
+    Cycle windowPeriod = 0;
+    std::string windowPath;
+    std::vector<WindowSample> windows;
+    /** Cumulative counters at the previous rollover (delta base). */
+    RunStats winPrev;
 
     Cycle checkPeriod = 0;
     std::uint64_t invariantErrors = 0;

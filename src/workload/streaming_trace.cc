@@ -1,0 +1,469 @@
+#include "workload/streaming_trace.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ostream>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace protozoa {
+
+namespace {
+
+constexpr std::size_t kFileHeaderBytes = 16;
+constexpr std::size_t kChunkHeaderBytes = 20;
+
+struct Crc32Table
+{
+    std::uint32_t t[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+const Crc32Table &
+crcTable()
+{
+    static const Crc32Table table;
+    return table;
+}
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+void
+encodeRecord(std::uint8_t *p, const TraceRecord &r)
+{
+    std::memcpy(p, &r.addr, 8);
+    std::memcpy(p + 8, &r.pc, 8);
+    std::memcpy(p + 16, &r.gapInstrs, 2);
+    p[18] = r.isWrite ? 1 : 0;
+    p[19] = 0;
+}
+
+TraceRecord
+decodeRecord(const std::uint8_t *p)
+{
+    TraceRecord r;
+    std::memcpy(&r.addr, p, 8);
+    std::memcpy(&r.pc, p + 8, 8);
+    std::memcpy(&r.gapInstrs, p + 16, 2);
+    r.isWrite = p[18] != 0;
+    return r;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    const auto &tab = crcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = tab.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// ---- TraceWriter ------------------------------------------------------
+
+TraceWriter::TraceWriter(std::ostream &out, Format fmt,
+                         unsigned num_cores, std::size_t chunk_records)
+    : out(out), fmt(fmt), cores(num_cores), chunkRecords(chunk_records)
+{
+    PROTO_ASSERT(chunkRecords > 0 && chunkRecords <= kMaxChunkRecords,
+                 "bad chunk size");
+    if (fmt == Format::Binary) {
+        pending.resize(cores);
+        for (auto &v : pending)
+            v.reserve(chunkRecords);
+        encodeBuf.resize(kChunkHeaderBytes +
+                         chunkRecords * kTraceRecordBytes);
+        std::uint8_t hdr[kFileHeaderBytes];
+        put32(hdr, kTraceMagic);
+        put32(hdr + 4, kTraceVersion);
+        put32(hdr + 8, cores);
+        put32(hdr + 12, 0);
+        out.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+    } else {
+        out << "# protozoa trace: <core> <L|S> <hex-addr> <hex-pc> "
+               "<gap>\n";
+    }
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+void
+TraceWriter::append(unsigned core, const TraceRecord &rec)
+{
+    PROTO_ASSERT(!finished, "append after finish()");
+    if (core >= cores)
+        fatal("trace writer: core %u out of range (%u cores)", core,
+              cores);
+    ++written;
+    if (fmt == Format::Text) {
+        out << core << ' ' << (rec.isWrite ? 'S' : 'L') << ' '
+            << std::hex << rec.addr << ' ' << rec.pc << std::dec << ' '
+            << rec.gapInstrs << '\n';
+        return;
+    }
+    pending[core].push_back(rec);
+    if (pending[core].size() >= chunkRecords)
+        flushChunk(core);
+}
+
+void
+TraceWriter::flushChunk(unsigned core)
+{
+    auto &recs = pending[core];
+    if (recs.empty())
+        return;
+    const std::uint32_t count = static_cast<std::uint32_t>(recs.size());
+    const std::uint32_t byteLen =
+        count * static_cast<std::uint32_t>(kTraceRecordBytes);
+    std::uint8_t *payload = encodeBuf.data() + kChunkHeaderBytes;
+    for (std::uint32_t i = 0; i < count; ++i)
+        encodeRecord(payload + i * kTraceRecordBytes, recs[i]);
+
+    std::uint8_t *hdr = encodeBuf.data();
+    put32(hdr, kTraceChunkMagic);
+    put32(hdr + 4, core);
+    put32(hdr + 8, count);
+    put32(hdr + 12, byteLen);
+    put32(hdr + 16, crc32(payload, byteLen));
+    out.write(reinterpret_cast<const char *>(encodeBuf.data()),
+              kChunkHeaderBytes + byteLen);
+    recs.clear();
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    if (fmt == Format::Binary)
+        for (unsigned c = 0; c < cores; ++c)
+            flushChunk(c);
+    out.flush();
+}
+
+// ---- StreamingTraceFile ----------------------------------------------
+
+std::unique_ptr<StreamingTraceFile>
+StreamingTraceFile::open(const std::string &path, std::string *err)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (err)
+            *err = "cannot open trace file '" + path + "'";
+        return nullptr;
+    }
+    std::uint8_t hdr[kFileHeaderBytes];
+    if (::pread(fd, hdr, sizeof(hdr), 0) !=
+        static_cast<ssize_t>(sizeof(hdr))) {
+        ::close(fd);
+        if (err)
+            *err = "'" + path + "': truncated PZTR header";
+        return nullptr;
+    }
+    if (get32(hdr) != kTraceMagic) {
+        ::close(fd);
+        if (err)
+            *err = "'" + path + "': not a PZTR trace (bad magic)";
+        return nullptr;
+    }
+    if (get32(hdr + 4) != kTraceVersion) {
+        ::close(fd);
+        if (err)
+            *err = "'" + path + "': PZTR version " +
+                   std::to_string(get32(hdr + 4)) + ", expected " +
+                   std::to_string(kTraceVersion);
+        return nullptr;
+    }
+    const std::uint32_t cores = get32(hdr + 8);
+    if (cores == 0 || cores > 4096) {
+        ::close(fd);
+        if (err)
+            *err = "'" + path + "': implausible core count " +
+                   std::to_string(cores);
+        return nullptr;
+    }
+
+    auto file = std::unique_ptr<StreamingTraceFile>(
+        new StreamingTraceFile());
+    file->fd = fd;
+    file->path = path;
+    file->nCores = cores;
+    file->dataStart = kFileHeaderBytes;
+    file->rings.resize(cores);
+    for (Ring &r : file->rings) {
+        r.nextOff = file->dataStart;
+        r.chunkBuf.reserve(kDefaultChunkRecords * kTraceRecordBytes);
+    }
+    return file;
+}
+
+StreamingTraceFile::~StreamingTraceFile()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Workload
+StreamingTraceFile::makeWorkload()
+{
+    Workload out;
+    for (unsigned c = 0; c < nCores; ++c)
+        out.push_back(std::make_unique<StreamingTraceSource>(*this, c));
+    return out;
+}
+
+bool
+StreamingTraceFile::readChunkFor(unsigned target)
+{
+    // Each core keeps its own chunk cursor and scans the file for its
+    // own chunks, skipping over other cores' payloads — so a ring
+    // never buffers more than one chunk no matter how skewed per-core
+    // consumption rates are, which pins every ring's capacity after
+    // its first decode (alloc_regression_test locks this). All reads
+    // are positional pread()s and all mutable state is per-ring, so
+    // distinct cores may refill from distinct threads.
+    Ring &ring = rings[target];
+    for (;;) {
+        std::uint8_t hdr[kChunkHeaderBytes];
+        const ssize_t got = ::pread(fd, hdr, sizeof(hdr),
+                                    static_cast<off_t>(ring.nextOff));
+        if (got == 0) {
+            ring.exhausted = true;
+            return false;
+        }
+        if (got != static_cast<ssize_t>(sizeof(hdr)))
+            fatal("'%s': truncated chunk header", path.c_str());
+        if (get32(hdr) != kTraceChunkMagic)
+            fatal("'%s': bad chunk magic (corrupt trace)",
+                  path.c_str());
+        const std::uint32_t core = get32(hdr + 4);
+        const std::uint32_t count = get32(hdr + 8);
+        const std::uint32_t byteLen = get32(hdr + 12);
+        const std::uint32_t crc = get32(hdr + 16);
+        if (core >= nCores)
+            fatal("'%s': chunk names core %u of %u", path.c_str(),
+                  core, nCores);
+        if (count == 0 || count > kMaxChunkRecords ||
+            byteLen != count * kTraceRecordBytes)
+            fatal("'%s': implausible chunk framing (count %u, bytes "
+                  "%u)",
+                  path.c_str(), count, byteLen);
+
+        const std::uint64_t payloadOff =
+            ring.nextOff + kChunkHeaderBytes;
+        ring.nextOff = payloadOff + byteLen;
+        if (core != target)
+            continue; // skip a foreign chunk without touching payload
+
+        ring.chunkBuf.resize(byteLen); // capacity sticky
+        if (::pread(fd, ring.chunkBuf.data(), byteLen,
+                    static_cast<off_t>(payloadOff)) !=
+            static_cast<ssize_t>(byteLen))
+            fatal("'%s': truncated chunk payload", path.c_str());
+        if (crc32(ring.chunkBuf.data(), byteLen) != crc)
+            fatal("'%s': chunk CRC mismatch (corrupt trace)",
+                  path.c_str());
+
+        ring.buf.clear(); // fully drained before refill; keeps capacity
+        ring.head = 0;
+        for (std::uint32_t i = 0; i < count; ++i)
+            ring.buf.push_back(decodeRecord(ring.chunkBuf.data() +
+                                            i * kTraceRecordBytes));
+        return true;
+    }
+}
+
+bool
+StreamingTraceFile::fillFor(unsigned core)
+{
+    Ring &ring = rings[core];
+    while (ring.head == ring.buf.size()) {
+        if (ring.exhausted)
+            return false;
+        if (!readChunkFor(core))
+            return false;
+    }
+    return true;
+}
+
+// ---- StreamingTraceSource --------------------------------------------
+
+bool
+StreamingTraceSource::next(TraceRecord &out)
+{
+    if (!file.fillFor(core))
+        return false;
+    StreamingTraceFile::Ring &ring = file.rings[core];
+    out = ring.buf[ring.head++];
+    ++ring.consumed;
+    return true;
+}
+
+std::uint64_t
+StreamingTraceSource::cursor() const
+{
+    return file.rings[core].consumed;
+}
+
+bool
+StreamingTraceSource::seekTo(std::uint64_t n)
+{
+    StreamingTraceFile::Ring &ring = file.rings[core];
+    if (n < ring.consumed) {
+        // Per-core cursors make a backward seek purely local: reset
+        // this core's scan to the first chunk and replay forward.
+        ring.buf.clear();
+        ring.head = 0;
+        ring.consumed = 0;
+        ring.nextOff = file.dataStart;
+        ring.exhausted = false;
+    }
+    TraceRecord tmp;
+    while (ring.consumed < n)
+        if (!next(tmp))
+            return false;
+    return true;
+}
+
+// ---- GeneratorTraceSource --------------------------------------------
+
+GeneratorTraceSource::GeneratorTraceSource(Refill refill,
+                                           std::uint64_t total_records,
+                                           std::size_t chunk_records)
+    : refill(std::move(refill)),
+      total(total_records),
+      chunkRecords(chunk_records)
+{
+    PROTO_ASSERT(chunkRecords > 0, "bad chunk size");
+    chunk.reserve(chunkRecords);
+}
+
+bool
+GeneratorTraceSource::loadChunkFor(std::uint64_t n)
+{
+    const std::uint64_t idx = n / chunkRecords;
+    if (idx != chunkIndex) {
+        chunk.clear(); // keeps capacity: refills stay allocation-free
+        refill(idx, chunk);
+        chunkIndex = idx;
+    }
+    return (n % chunkRecords) < chunk.size();
+}
+
+bool
+GeneratorTraceSource::next(TraceRecord &out)
+{
+    if (total != 0 && consumed >= total)
+        return false;
+    if (!loadChunkFor(consumed))
+        return false;
+    out = chunk[static_cast<std::size_t>(consumed % chunkRecords)];
+    ++consumed;
+    return true;
+}
+
+bool
+GeneratorTraceSource::seekTo(std::uint64_t n)
+{
+    if (total != 0 && n > total)
+        return false;
+    consumed = n;
+    return true;
+}
+
+// ---- Synthetic long-horizon stream -----------------------------------
+
+GeneratorTraceSource::Refill
+syntheticStreamRefill(std::uint64_t seed, unsigned core,
+                      unsigned num_cores, std::size_t chunk_records)
+{
+    return [seed, core, num_cores,
+            chunk_records](std::uint64_t chunk_index,
+                           std::vector<TraceRecord> &out) {
+        Rng rng(counterHash64(seed, (std::uint64_t(core) << 32) | 1,
+                              chunk_index));
+        // Per-core private window walks forward with the chunk index so
+        // the footprint stays cache-sized but the address stream never
+        // repeats; a small set of hot shared regions carries real
+        // cross-core coherence traffic.
+        const Addr privBase = 0x100000000ULL +
+                              (Addr(core) << 24) +
+                              (chunk_index % 4096) * 0x1000;
+        const Addr sharedBase = 0x200000000ULL;
+        const unsigned kSharedRegions = 16;
+        for (std::size_t i = 0; i < chunk_records; ++i) {
+            TraceRecord r;
+            const std::uint64_t roll = rng.below(100);
+            if (roll < 70) {
+                // private streaming read/write
+                r.addr = privBase + (rng.below(512) << kWordShift);
+                r.isWrite = rng.chance(0.3);
+                r.pc = 0x4000 + (core << 8);
+            } else if (roll < 95) {
+                // hot shared read
+                r.addr = sharedBase +
+                         rng.below(kSharedRegions) * 64 +
+                         (rng.below(8) << kWordShift);
+                r.isWrite = false;
+                r.pc = 0x5000;
+            } else {
+                // shared write (false-sharing pressure: word keyed by
+                // core, region shared by all)
+                r.addr = sharedBase +
+                         rng.below(kSharedRegions) * 64 +
+                         ((core % 8) << kWordShift);
+                r.isWrite = true;
+                r.pc = 0x6000;
+            }
+            r.addr = wordAlign(r.addr);
+            r.gapInstrs =
+                static_cast<std::uint16_t>(2 + rng.below(6));
+            out.push_back(r);
+        }
+        (void)num_cores;
+    };
+}
+
+Workload
+makeSyntheticStreamWorkload(std::uint64_t seed, unsigned num_cores,
+                            std::uint64_t records_per_core,
+                            std::size_t chunk_records)
+{
+    Workload out;
+    for (unsigned c = 0; c < num_cores; ++c)
+        out.push_back(std::make_unique<GeneratorTraceSource>(
+            syntheticStreamRefill(seed, c, num_cores, chunk_records),
+            records_per_core, chunk_records));
+    return out;
+}
+
+} // namespace protozoa

@@ -38,6 +38,16 @@ class TraceSource
 
     /** @return false when the trace is exhausted. */
     virtual bool next(TraceRecord &out) = 0;
+
+    /** Records consumed so far (the snapshot cursor). */
+    virtual std::uint64_t cursor() const { return 0; }
+
+    /**
+     * Reposition so the next() call returns record @p n of the stream.
+     * Used by snapshot restore to resume a trace mid-stream.
+     * @return false when the source cannot seek.
+     */
+    virtual bool seekTo(std::uint64_t n) { return n == 0; }
 };
 
 /** A trace fully materialized in memory. */
@@ -55,6 +65,17 @@ class VectorTrace : public TraceSource
         if (pos >= records.size())
             return false;
         out = records[pos++];
+        return true;
+    }
+
+    std::uint64_t cursor() const override { return pos; }
+
+    bool
+    seekTo(std::uint64_t n) override
+    {
+        if (n > records.size())
+            return false;
+        pos = static_cast<std::size_t>(n);
         return true;
     }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "workload/streaming_trace.hh"
 
 namespace protozoa {
 
@@ -69,15 +70,16 @@ readTraceFile(const std::string &path, unsigned num_cores)
 void
 writeTrace(std::ostream &out, Workload workload)
 {
-    out << "# protozoa trace: <core> <L|S> <hex-addr> <hex-pc> <gap>\n";
+    // Deprecated draining wrapper: kept for existing callers, now a
+    // thin loop over the incremental TraceWriter.
+    TraceWriter w(out, TraceWriter::Format::Text,
+                  static_cast<unsigned>(workload.size()));
     for (unsigned c = 0; c < workload.size(); ++c) {
         TraceRecord rec;
-        while (workload[c]->next(rec)) {
-            out << c << ' ' << (rec.isWrite ? 'S' : 'L') << ' '
-                << std::hex << rec.addr << ' ' << rec.pc << std::dec
-                << ' ' << rec.gapInstrs << '\n';
-        }
+        while (workload[c]->next(rec))
+            w.append(c, rec);
     }
+    w.finish();
 }
 
 void

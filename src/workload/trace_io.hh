@@ -41,10 +41,18 @@ Workload readTraceFile(const std::string &path, unsigned num_cores);
 /**
  * Serialize a workload to the text format. Consumes the workload
  * (trace sources are drained).
+ *
+ * @deprecated Drains its input as a side effect and requires the whole
+ * workload materialized; new code should append records incrementally
+ * through TraceWriter (workload/streaming_trace.hh), which this
+ * function is now a thin draining wrapper around.
  */
 void writeTrace(std::ostream &out, Workload workload);
 
-/** Serialize a workload to a file; fatal() on open failure. */
+/**
+ * Serialize a workload to a file; fatal() on open failure.
+ * @deprecated See writeTrace().
+ */
 void writeTraceFile(const std::string &path, Workload workload);
 
 } // namespace protozoa

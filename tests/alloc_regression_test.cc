@@ -24,11 +24,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "common/alloc_hook.hh"
 #include "common/rng.hh"
 #include "sim/system.hh"
+#include "workload/streaming_trace.hh"
 #include "workload/trace.hh"
 
 PROTOZOA_DEFINE_COUNTING_NEW
@@ -145,6 +148,71 @@ TEST(AllocRegression, MesiParallelSteadyStateIsAllocationFree)
 TEST(AllocRegression, ProtozoaMWParallelSteadyStateIsAllocationFree)
 {
     expectNoSteadyStateAllocs(ProtocolKind::ProtozoaMW, 2);
+}
+
+/**
+ * The streaming front end's claim: once the per-core record rings and
+ * the pooled chunk buffer hit their high-water marks, refilling from a
+ * PZTR file allocates nothing. Same hot-pool workload as above, but
+ * delivered through StreamingTraceSource views instead of
+ * materialized VectorTraces.
+ */
+TEST(AllocRegression, StreamedSteadyStateIsAllocationFree)
+{
+    const std::uint64_t kAccessesPerCore = 6250;
+    SystemConfig cfg = hostileCfg(ProtocolKind::ProtozoaMW);
+
+    // Materialize once (setup, unmeasured) into a chunked binary file.
+    const std::string path = "alloc_regression_stream.pztr";
+    {
+        std::ofstream out(path, std::ios::binary);
+        TraceWriter w(out, TraceWriter::Format::Binary, cfg.numCores,
+                      256);
+        Workload src = hotPoolWorkload(cfg, kAccessesPerCore);
+        TraceRecord rec;
+        bool more = true;
+        while (more) {
+            more = false;
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                if (src[c]->next(rec)) {
+                    w.append(c, rec);
+                    more = true;
+                }
+            }
+        }
+        w.finish();
+    }
+
+    Cycle total_cycles = 0;
+    {
+        std::string err;
+        auto file = StreamingTraceFile::open(path, &err);
+        ASSERT_NE(file, nullptr) << err;
+        System sys(cfg, file->makeWorkload());
+        sys.run();
+        total_cycles = sys.report().cycles;
+        EXPECT_EQ(sys.valueViolations(), 0u);
+    }
+    ASSERT_GT(total_cycles, 0u);
+
+    std::string err;
+    auto file = StreamingTraceFile::open(path, &err);
+    ASSERT_NE(file, nullptr) << err;
+    System sys(cfg, file->makeWorkload());
+    std::uint64_t at_window = 0;
+    sys.eventQueue().schedule(total_cycles / 4, [&at_window] {
+        at_window = AllocHook::allocCount();
+    });
+    sys.run();
+    const std::uint64_t at_end = AllocHook::allocCount();
+
+    EXPECT_EQ(sys.valueViolations(), 0u);
+    ASSERT_GT(at_window, 0u);
+    EXPECT_EQ(at_end - at_window, 0u)
+        << (at_end - at_window)
+        << " heap allocation(s) while streaming the last three "
+        << "quarters of a " << total_cycles << "-cycle run";
+    std::remove(path.c_str());
 }
 
 TEST(AllocRegression, HookCountsAreLive)

@@ -292,6 +292,69 @@ TEST(Explorer, RecallStormCompletesWithoutLivelock)
     }
 }
 
+/**
+ * Snapshot-backtracking soundness and effectiveness: restoring the
+ * branch-point snapshot must visit exactly the states replay-from-root
+ * visits (same verdicts, same fingerprint sets — the simulator is
+ * deterministic given a schedule), while executing strictly fewer
+ * deliveries (a restore replays none of the choice prefix).
+ */
+TEST(Explorer, SnapshotBacktrackMatchesReplayWithFewerDeliveries)
+{
+    ExploreLimits snap;
+    snap.collectFingerprints = true;
+    ExploreLimits replay = snap;
+    replay.snapshotBacktrack = false;
+    for (const char *name :
+         {"upgrade-race", "false-share-pingpong", "recall-inclusive"}) {
+        const Scenario *s = findScenario(name);
+        ASSERT_NE(s, nullptr) << name;
+        for (ProtocolKind proto :
+             {ProtocolKind::MESI, ProtocolKind::ProtozoaMW}) {
+            const ExploreResult a = explore(*s, proto, snap);
+            const ExploreResult b = explore(*s, proto, replay);
+            ASSERT_FALSE(a.budgetExhausted)
+                << name << " " << protocolName(proto);
+            ASSERT_FALSE(b.budgetExhausted)
+                << name << " " << protocolName(proto);
+            EXPECT_EQ(a.violation.has_value(), b.violation.has_value())
+                << name << " " << protocolName(proto);
+            EXPECT_EQ(a.statesVisited, b.statesVisited)
+                << name << " " << protocolName(proto);
+            EXPECT_EQ(a.fingerprints, b.fingerprints)
+                << name << " " << protocolName(proto);
+            EXPECT_LT(a.deliveriesExecuted, b.deliveriesExecuted)
+                << name << " " << protocolName(proto)
+                << ": snapshot=" << a.deliveriesExecuted
+                << " replay=" << b.deliveriesExecuted;
+        }
+    }
+}
+
+/**
+ * The found-violation path must survive snapshot-backtracking too:
+ * the re-injected lost-store bug is rediscovered with an identical
+ * minimized schedule either way.
+ */
+TEST(Explorer, SnapshotBacktrackFindsSameViolation)
+{
+    const Scenario *s = findScenario("evict-vs-partial-probe");
+    ASSERT_NE(s, nullptr);
+    Scenario buggy = *s;
+    buggy.debugLostStoreBug = true;
+    ExploreLimits snap;
+    ExploreLimits replay;
+    replay.snapshotBacktrack = false;
+    const ExploreResult a =
+        explore(buggy, ProtocolKind::ProtozoaMW, snap);
+    const ExploreResult b =
+        explore(buggy, ProtocolKind::ProtozoaMW, replay);
+    ASSERT_TRUE(a.violation.has_value());
+    ASSERT_TRUE(b.violation.has_value());
+    EXPECT_EQ(a.violation->kind, b.violation->kind);
+    EXPECT_EQ(a.violation->schedule, b.violation->schedule);
+}
+
 TEST(ScenarioLibrary, SizeTiersAndStressTags)
 {
     const std::vector<Scenario> &lib = scenarioLibrary();

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Checkpoint/restore property tests: the snapshot subsystem's contract
+ * is digest-locked resumption — save at cycle C, restore into a fresh
+ * System (same config, nothing run yet), run to completion, and the
+ * full stats digest is bit-identical to the uninterrupted run. The
+ * tests exercise that contract across all four protocols, with fault
+ * jitter on and off, at randomized checkpoint cycles, under both
+ * engines (and across *different* worker-thread counts for the sharded
+ * engine: thread count is an execution resource, not simulated state).
+ *
+ * The rejection half: corrupted, truncated, version-skewed and
+ * config-mismatched images must be refused with a clear error — never
+ * undefined behavior, never a half-restored System.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "protozoa/protozoa.hh"
+#include "snapshot/snapshot.hh"
+#include "stats_digest.hh"
+#include "workload/benchmarks.hh"
+#include "workload/streaming_trace.hh"
+
+namespace protozoa {
+namespace {
+
+constexpr double kScale = 0.04;
+
+Workload
+bench(const SystemConfig &cfg, const char *name = "apache")
+{
+    return findBenchmark(name).gen(cfg, kScale);
+}
+
+std::uint64_t
+digestOf(const RunStats &s)
+{
+    Digest d;
+    addStats(d, s);
+    return d.value();
+}
+
+/** Uninterrupted reference run. */
+RunStats
+referenceRun(const SystemConfig &cfg, const char *name = "apache")
+{
+    System sys(cfg, bench(cfg, name));
+    sys.run();
+    return sys.report();
+}
+
+/**
+ * Run to @p stop, snapshot, restore the bytes into a fresh System (the
+ * in-process equivalent of a fresh process: nothing is shared but the
+ * byte image), finish both, and require that the restored run's digest
+ * matches the uninterrupted one AND the donor's own resumed run.
+ */
+void
+roundTrip(const SystemConfig &cfg, Cycle stop, const char *name = "apache")
+{
+    const std::uint64_t want = digestOf(referenceRun(cfg, name));
+
+    System donor(cfg, bench(cfg, name));
+    donor.runTo(stop);
+
+    Serializer img;
+    std::string err;
+    ASSERT_TRUE(donor.saveSnapshot(img, &err)) << err;
+
+    System fresh(cfg, bench(cfg, name));
+    Deserializer d(img.bytes().data(), img.size());
+    ASSERT_TRUE(fresh.restoreSnapshot(d, &err)) << err;
+    fresh.run();
+    EXPECT_EQ(want, digestOf(fresh.report()))
+        << "restored run diverged (stop=" << stop << ")";
+
+    donor.run();
+    EXPECT_EQ(want, digestOf(donor.report()))
+        << "donor resume diverged (stop=" << stop << ")";
+}
+
+TEST(Snapshot, DigestLockedAcrossProtocols)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::MESI, ProtocolKind::ProtozoaSW,
+          ProtocolKind::ProtozoaSWMR, ProtocolKind::ProtozoaMW}) {
+        SystemConfig cfg;
+        cfg.protocol = kind;
+        cfg.seed = 11;
+        roundTrip(cfg, 20000);
+    }
+}
+
+TEST(Snapshot, DigestLockedAtRandomizedCyclesUnderJitter)
+{
+    // Deterministic "random" checkpoint cycles: a seeded LCG walk over
+    // an interesting range, prime-ish offsets so stops land mid-burst.
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (bool jitter : {false, true}) {
+        SystemConfig cfg;
+        cfg.protocol = ProtocolKind::ProtozoaMW;
+        cfg.faultInjection = jitter;
+        cfg.seed = 23;
+        for (int i = 0; i < 4; ++i) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            const Cycle stop = 3000 + (x >> 40) % 60000;
+            roundTrip(cfg, stop);
+        }
+    }
+}
+
+TEST(Snapshot, ChainedCheckpointsStayLocked)
+{
+    // Checkpoint, restore, run a bit, checkpoint the restored system,
+    // restore again — digests must survive arbitrary chaining.
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+    cfg.seed = 5;
+    const std::uint64_t want = digestOf(referenceRun(cfg));
+
+    System a(cfg, bench(cfg));
+    a.runTo(8000);
+    Serializer img1;
+    std::string err;
+    ASSERT_TRUE(a.saveSnapshot(img1, &err)) << err;
+
+    System b(cfg, bench(cfg));
+    Deserializer d1(img1.bytes().data(), img1.size());
+    ASSERT_TRUE(b.restoreSnapshot(d1, &err)) << err;
+    b.runTo(30000);
+    Serializer img2;
+    ASSERT_TRUE(b.saveSnapshot(img2, &err)) << err;
+
+    System c(cfg, bench(cfg));
+    Deserializer d2(img2.bytes().data(), img2.size());
+    ASSERT_TRUE(c.restoreSnapshot(d2, &err)) << err;
+    c.run();
+    EXPECT_EQ(want, digestOf(c.report()));
+}
+
+TEST(Snapshot, FileRoundTrip)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaSW;
+    cfg.seed = 7;
+    const std::uint64_t want = digestOf(referenceRun(cfg));
+
+    const std::string path = "snapshot_test_roundtrip.pzsn";
+    System donor(cfg, bench(cfg));
+    donor.runTo(15000);
+    std::string err;
+    ASSERT_TRUE(donor.saveSnapshotFile(path, &err)) << err;
+
+    System fresh(cfg, bench(cfg));
+    ASSERT_TRUE(fresh.restoreSnapshotFile(path, &err)) << err;
+    fresh.run();
+    EXPECT_EQ(want, digestOf(fresh.report()));
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, StreamingWorkloadRoundTrip)
+{
+    // Generator-backed streams must reposition via seekTo on restore.
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+    cfg.seed = 31;
+    const std::uint64_t kRecs = 6000;
+
+    System ref(cfg, makeSyntheticStreamWorkload(31, cfg.numCores, kRecs));
+    ref.run();
+    const std::uint64_t want = digestOf(ref.report());
+
+    System donor(cfg, makeSyntheticStreamWorkload(31, cfg.numCores, kRecs));
+    donor.runTo(10000);
+    Serializer img;
+    std::string err;
+    ASSERT_TRUE(donor.saveSnapshot(img, &err)) << err;
+
+    System fresh(cfg, makeSyntheticStreamWorkload(31, cfg.numCores, kRecs));
+    Deserializer d(img.bytes().data(), img.size());
+    ASSERT_TRUE(fresh.restoreSnapshot(d, &err)) << err;
+    fresh.run();
+    EXPECT_EQ(want, digestOf(fresh.report()));
+}
+
+// ---- sharded engine ---------------------------------------------------
+
+TEST(Snapshot, ShardedRoundTripAcrossThreadCounts)
+{
+    // A sharded snapshot carries simulated state only; restoring under
+    // a different worker count must reproduce the same digest. (The
+    // config fingerprint deliberately excludes simThreads.)
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::ProtozoaMW;
+    cfg.simThreads = 2;
+    cfg.seed = 13;
+    const std::uint64_t want = digestOf(referenceRun(cfg));
+
+    System donor(cfg, bench(cfg));
+    donor.runTo(12000);
+    Serializer img;
+    std::string err;
+    ASSERT_TRUE(donor.saveSnapshot(img, &err)) << err;
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        SystemConfig rcfg = cfg;
+        rcfg.simThreads = threads;
+        System fresh(rcfg, bench(rcfg));
+        Deserializer d(img.bytes().data(), img.size());
+        ASSERT_TRUE(fresh.restoreSnapshot(d, &err))
+            << err << " (threads=" << threads << ")";
+        fresh.run();
+        EXPECT_EQ(want, digestOf(fresh.report()))
+            << "sharded restore diverged at " << threads << " threads";
+    }
+}
+
+TEST(Snapshot, ShardedJitterRoundTrip)
+{
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::MESI;
+    cfg.simThreads = 4;
+    cfg.faultInjection = true;
+    cfg.seed = 17;
+    roundTrip(cfg, 25000, "canneal");
+}
+
+// ---- rejection: corrupt / truncated / skewed images -------------------
+
+Serializer
+saveAt(const SystemConfig &cfg, Cycle stop)
+{
+    System donor(cfg, bench(cfg));
+    donor.runTo(stop);
+    Serializer img;
+    std::string err;
+    EXPECT_TRUE(donor.saveSnapshot(img, &err)) << err;
+    return img;
+}
+
+/** Restore must fail with a non-empty error; the target is discarded. */
+void
+expectRejected(const SystemConfig &cfg, const std::vector<std::uint8_t> &img)
+{
+    System fresh(cfg, bench(cfg));
+    Deserializer d(img.data(), img.size());
+    std::string err;
+    EXPECT_FALSE(fresh.restoreSnapshot(d, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SnapshotReject, BadMagic)
+{
+    SystemConfig cfg;
+    cfg.seed = 3;
+    Serializer img = saveAt(cfg, 5000);
+    std::vector<std::uint8_t> bytes = img.bytes();
+    bytes[0] ^= 0xff;
+    expectRejected(cfg, bytes);
+}
+
+TEST(SnapshotReject, VersionSkew)
+{
+    SystemConfig cfg;
+    cfg.seed = 3;
+    Serializer img = saveAt(cfg, 5000);
+    std::vector<std::uint8_t> bytes = img.bytes();
+    bytes[4] += 1; // version field follows the magic
+    System fresh(cfg, bench(cfg));
+    Deserializer d(bytes.data(), bytes.size());
+    std::string err;
+    EXPECT_FALSE(fresh.restoreSnapshot(d, &err));
+    EXPECT_NE(err.find("format"), std::string::npos) << err;
+}
+
+TEST(SnapshotReject, ConfigMismatch)
+{
+    SystemConfig cfg;
+    cfg.seed = 3;
+    Serializer img = saveAt(cfg, 5000);
+
+    SystemConfig other = cfg;
+    other.l1Sets = 128;
+    System fresh(other, bench(other));
+    Deserializer d(img.bytes().data(), img.size());
+    std::string err;
+    EXPECT_FALSE(fresh.restoreSnapshot(d, &err));
+    EXPECT_NE(err.find("configuration"), std::string::npos) << err;
+}
+
+TEST(SnapshotReject, EngineModeMismatch)
+{
+    SystemConfig cfg;
+    cfg.seed = 3;
+    Serializer img = saveAt(cfg, 5000); // sequential donor
+
+    SystemConfig sharded = cfg;
+    sharded.simThreads = 2;
+    System fresh(sharded, bench(sharded));
+    Deserializer d(img.bytes().data(), img.size());
+    std::string err;
+    EXPECT_FALSE(fresh.restoreSnapshot(d, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SnapshotReject, UsedTargetRefused)
+{
+    SystemConfig cfg;
+    cfg.seed = 3;
+    Serializer img = saveAt(cfg, 5000);
+
+    System used(cfg, bench(cfg));
+    used.runTo(100); // no longer fresh
+    Deserializer d(img.bytes().data(), img.size());
+    std::string err;
+    EXPECT_FALSE(used.restoreSnapshot(d, &err));
+    EXPECT_NE(err.find("fresh"), std::string::npos) << err;
+}
+
+TEST(SnapshotReject, TruncationAtEveryRegion)
+{
+    // Chop the image at a spread of offsets; every prefix must be
+    // refused cleanly. (Every byte would be O(n^2); a stride plus the
+    // boundaries near the header catches region-boundary bugs.)
+    SystemConfig cfg;
+    cfg.seed = 9;
+    Serializer img = saveAt(cfg, 8000);
+    const std::vector<std::uint8_t> &bytes = img.bytes();
+    ASSERT_GT(bytes.size(), 64u);
+
+    std::vector<std::size_t> cuts = {0, 1, 3, 4, 7, 8, 12, 16, 17, 24, 32};
+    for (std::size_t off = 48; off < bytes.size(); off += bytes.size() / 37)
+        cuts.push_back(off);
+    cuts.push_back(bytes.size() - 1);
+
+    for (std::size_t cut : cuts) {
+        std::vector<std::uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+        expectRejected(cfg, trunc);
+    }
+}
+
+TEST(SnapshotReject, TrailingGarbage)
+{
+    SystemConfig cfg;
+    cfg.seed = 9;
+    Serializer img = saveAt(cfg, 8000);
+    std::vector<std::uint8_t> bytes = img.bytes();
+    bytes.push_back(0xab);
+    bytes.push_back(0xcd);
+    System fresh(cfg, bench(cfg));
+    Deserializer d(bytes.data(), bytes.size());
+    std::string err;
+    EXPECT_FALSE(fresh.restoreSnapshot(d, &err));
+    EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(SnapshotReject, MissingFile)
+{
+    SystemConfig cfg;
+    cfg.seed = 9;
+    System fresh(cfg, bench(cfg));
+    std::string err;
+    EXPECT_FALSE(
+        fresh.restoreSnapshotFile("no_such_snapshot_file.pzsn", &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Snapshot, ConfigFingerprintSemantics)
+{
+    SystemConfig a;
+    SystemConfig b = a;
+    EXPECT_EQ(configFingerprint(a), configFingerprint(b));
+
+    b.simThreads = 8; // execution resource, not simulated state
+    EXPECT_EQ(configFingerprint(a), configFingerprint(b));
+
+    b = a;
+    b.seed = a.seed + 1;
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+
+    b = a;
+    b.faultReorderProb = a.faultReorderProb + 0.001;
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+}
+
+} // namespace
+} // namespace protozoa
